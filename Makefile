@@ -1,0 +1,27 @@
+# Janus reproduction — developer entry points.
+
+PYTHON ?= python
+
+.PHONY: install test bench reports examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reports: bench
+	@cat benchmarks/reports/*.txt
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/paradigm_planner.py
+	$(PYTHON) examples/train_tiny_moe.py
+	$(PYTHON) examples/simulate_cluster_training.py
+
+clean:
+	rm -rf benchmarks/reports .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

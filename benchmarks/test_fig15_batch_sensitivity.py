@@ -1,0 +1,73 @@
+"""Fig. 15: sensitivity to batch size.
+
+§7.4 fixes per-model (S, k) — MoE-BERT: S=256, k=4; MoE-GPT: S=128, k=8;
+MoE-Transformer-xl: S=256, k=2 — and sweeps B in {64, 128}.  The paper's
+findings: iteration time grows with B for both systems, but Tutel
+(expert-centric) grows faster because the All-to-All volume grows with the
+computation, so Janus's speedup widens with batch size.
+"""
+
+import pytest
+
+from engine_cache import run_model, write_report
+from repro.analysis import format_table
+
+SWEEP = {
+    "MoE-BERT": dict(seq_len=256, top_k=4),
+    "MoE-GPT": dict(seq_len=128, top_k=8),
+    "MoE-Transformer-xl": dict(seq_len=256, top_k=2),
+}
+BATCHES = (64, 128)
+
+
+def run_sweep():
+    results = {}
+    for model, fixed in SWEEP.items():
+        for batch in BATCHES:
+            overrides = dict(fixed, batch_size=batch)
+            results[(model, batch)] = (
+                run_model(model, "expert-centric", **overrides),
+                run_model(model, "unified", **overrides),
+            )
+    return results
+
+
+def test_fig15_batch_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (model, batch), (tutel, janus) in results.items():
+        rows.append(
+            [
+                model,
+                batch,
+                f"{tutel.seconds * 1e3:.1f}",
+                f"{janus.seconds * 1e3:.1f}",
+                f"{tutel.seconds / janus.seconds:.2f}x",
+            ]
+        )
+    write_report(
+        "fig15_batch_sensitivity.txt",
+        format_table(
+            ["Model", "B", "Tutel (ms)", "Janus (ms)", "Speedup"],
+            rows,
+            title="Fig. 15: end-to-end iteration time vs batch size",
+        ),
+    )
+
+    for model in SWEEP:
+        tutel_small, janus_small = results[(model, 64)]
+        tutel_large, janus_large = results[(model, 128)]
+        # Iteration time increases with batch size in both systems.
+        assert tutel_large.seconds > tutel_small.seconds
+        assert janus_large.seconds > janus_small.seconds
+        # Tutel is more sensitive: its time grows by a larger factor...
+        tutel_growth = tutel_large.seconds / tutel_small.seconds
+        janus_growth = janus_large.seconds / janus_small.seconds
+        assert tutel_growth > janus_growth, (
+            f"{model}: tutel x{tutel_growth:.2f} vs janus x{janus_growth:.2f}"
+        )
+        # ...so the Janus speedup widens with batch size.
+        speedup_small = tutel_small.seconds / janus_small.seconds
+        speedup_large = tutel_large.seconds / janus_large.seconds
+        assert speedup_large > speedup_small

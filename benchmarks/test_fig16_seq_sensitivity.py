@@ -1,0 +1,82 @@
+"""Fig. 16: sensitivity to sequence length, including the Tutel OOM.
+
+§7.4 fixes per-model (B, k) — MoE-BERT: B=256, k=4; MoE-GPT: B=32, k=8;
+MoE-Transformer-xl: B=64, k=2 — and sweeps S in {256, 512}.  Findings:
+iteration time grows with S for both systems, Tutel grows faster, and
+Tutel runs out of GPU memory on MoE-BERT at S=512 (the All-to-All token
+buffers exceed the A100's 80 GB) while Janus trains it fine.
+"""
+
+import pytest
+
+from engine_cache import run_model, write_report
+from repro.analysis import format_table
+from repro.netsim import OutOfMemoryError
+
+SWEEP = {
+    "MoE-BERT": dict(batch_size=256, top_k=4),
+    "MoE-GPT": dict(batch_size=32, top_k=8),
+    "MoE-Transformer-xl": dict(batch_size=64, top_k=2),
+}
+SEQ_LENS = (256, 512)
+
+
+def run_sweep():
+    results = {}
+    for model, fixed in SWEEP.items():
+        for seq_len in SEQ_LENS:
+            overrides = dict(fixed, seq_len=seq_len)
+            try:
+                tutel = run_model(model, "expert-centric", **overrides)
+            except OutOfMemoryError:
+                tutel = None
+            janus = run_model(model, "unified", **overrides)
+            results[(model, seq_len)] = (tutel, janus)
+    return results
+
+
+def test_fig16_seq_sensitivity(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for (model, seq_len), (tutel, janus) in results.items():
+        tutel_ms = "OOM" if tutel is None else f"{tutel.seconds * 1e3:.1f}"
+        speedup = (
+            "-" if tutel is None
+            else f"{tutel.seconds / janus.seconds:.2f}x"
+        )
+        rows.append(
+            [model, seq_len, tutel_ms, f"{janus.seconds * 1e3:.1f}", speedup]
+        )
+    write_report(
+        "fig16_seq_sensitivity.txt",
+        format_table(
+            ["Model", "S", "Tutel (ms)", "Janus (ms)", "Speedup"],
+            rows,
+            title="Fig. 16: end-to-end iteration time vs sequence length "
+            "(OOM = out of GPU memory)",
+        ),
+    )
+
+    # The paper's headline: Tutel OOMs on MoE-BERT at S=512, Janus doesn't.
+    assert results[("MoE-BERT", 512)][0] is None
+    assert results[("MoE-BERT", 512)][1] is not None
+    # Everything else runs under both systems.
+    for (model, seq_len), (tutel, janus) in results.items():
+        if (model, seq_len) == ("MoE-BERT", 512):
+            continue
+        assert tutel is not None, f"unexpected OOM: {model} S={seq_len}"
+        assert janus is not None
+
+    for model in SWEEP:
+        tutel_short, janus_short = results[(model, 256)]
+        tutel_long, janus_long = results[(model, 512)]
+        # Time grows with sequence length.
+        assert janus_long.seconds > janus_short.seconds
+        if tutel_long is not None:
+            assert tutel_long.seconds > tutel_short.seconds
+            # Tutel is more sensitive to S than Janus.
+            assert (
+                tutel_long.seconds / tutel_short.seconds
+                > janus_long.seconds / janus_short.seconds
+            )

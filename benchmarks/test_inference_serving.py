@@ -1,0 +1,68 @@
+"""§9 extension: forward-only (serving) passes under both paradigms.
+
+The paper argues the same communication design applies to inference.  A
+forward-only pass halves the data-centric wire bill (no gradient returns)
+and drops the backward All-to-Alls of the expert-centric baseline; the
+paradigm comparison carries over.
+"""
+
+import pytest
+
+from engine_cache import MODEL_FACTORIES, write_report
+from repro.analysis import format_table
+from repro.cluster import Cluster
+from repro.config import moe_gpt
+from repro.core import build_workload, data_centric_engine, expert_centric_engine
+
+
+def run_serving():
+    config = moe_gpt(32)
+    cluster = Cluster(4)
+    workload = build_workload(config, cluster)
+    results = {}
+    for label, factory in (
+        ("expert-centric", expert_centric_engine),
+        ("data-centric", data_centric_engine),
+    ):
+        engine = factory(config, cluster, workload=workload)
+        results[label] = (
+            engine.run_iteration(),
+            engine.run_inference(),
+        )
+    return results
+
+
+def test_inference_serving(benchmark):
+    results = benchmark.pedantic(run_serving, rounds=1, iterations=1)
+
+    rows = []
+    for label, (training, inference) in results.items():
+        rows.append([
+            label,
+            f"{training.seconds * 1e3:.1f}",
+            f"{inference.seconds * 1e3:.1f}",
+            f"{inference.cross_node_gb_per_machine:.2f}",
+        ])
+    write_report(
+        "inference_serving.txt",
+        format_table(
+            ["Paradigm", "train iter (ms)", "forward pass (ms)",
+             "fwd GB/machine"],
+            rows,
+            title="Forward-only (serving) passes on MoE-GPT (§9)",
+        ),
+    )
+
+    for label, (training, inference) in results.items():
+        # A forward pass is much cheaper than a training iteration
+        # (backward compute is 2x forward plus gradient communication).
+        assert inference.seconds < 0.6 * training.seconds
+    ec_train, ec_infer = results["expert-centric"]
+    dc_train, dc_infer = results["data-centric"]
+    # Data-centric keeps winning at inference time.
+    assert dc_infer.seconds < ec_infer.seconds
+    # And its forward wire bill is exactly half the training bill
+    # (pulls only, no gradient pushes).
+    assert dc_infer.nic_egress_bytes.sum() == pytest.approx(
+        dc_train.nic_egress_bytes.sum() / 2
+    )

@@ -1,0 +1,72 @@
+"""The pull protocol under the hood (paper §6).
+
+Shows the substrate Janus builds its data-centric communication from: a
+socket control plane carrying pull requests and an RDMA data plane carrying
+expert payloads.  One machine's GPUs act as pull servers; a remote machine
+pulls four experts, first sequentially (fine-grained, as the Janus Task
+Queue issues them) and then all at once (to see the NIC being shared).
+
+Run:  python examples/pull_protocol.py
+"""
+
+from repro.cluster import Cluster, Device
+from repro.comm import PullTransport
+from repro.netsim import Fabric
+from repro.simkit import AllOf, Environment
+
+EXPERT_BYTES = 18.9e6  # one H=768 fp32 expert
+
+
+def main():
+    cluster = Cluster(num_machines=2)
+    env = Environment()
+    fabric = Fabric(env, cluster)
+    transport = PullTransport(fabric)
+
+    # Machine 1's first four GPUs each serve one expert.
+    servers = [Device.gpu(1, gpu) for gpu in range(4)]
+    for device in servers:
+        transport.serve(device)
+    requester = Device.gpu(0, 0)
+
+    print("sequential fine-grained pulls (one outstanding, like the "
+          "Intra-Node Scheduler):")
+    start = env.now
+    last = start
+
+    def sequential():
+        nonlocal last
+        for expert, server in enumerate(servers):
+            done = transport.pull(requester, server, EXPERT_BYTES, key=expert)
+            yield done
+            now = env.now
+            print(f"  expert {expert} from {server}: "
+                  f"arrived at {now * 1e3:6.2f} ms "
+                  f"(+{(now - last) * 1e3:.2f} ms)")
+            last = now
+
+    env.run(until=env.process(sequential()))
+    sequential_time = env.now - start
+
+    print("\nconcurrent pulls (all four at once):")
+    start = env.now
+    pulls = [
+        transport.pull(requester, server, EXPERT_BYTES, key=f"c{expert}")
+        for expert, server in enumerate(servers)
+    ]
+
+    def concurrent():
+        yield AllOf(env, pulls)
+
+    env.run(until=env.process(concurrent()))
+    concurrent_time = env.now - start
+    print(f"  all four arrived after {concurrent_time * 1e3:.2f} ms "
+          f"(sequential took {sequential_time * 1e3:.2f} ms)")
+    print(f"\ncross-machine bytes moved: "
+          f"{fabric.total_cross_machine_bytes() / 1e6:.1f} MB")
+    print("requester-side NIC is the bottleneck either way — which is why "
+          "Janus overlaps pulls with expert compute instead of racing them.")
+
+
+if __name__ == "__main__":
+    main()

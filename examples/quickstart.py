@@ -1,0 +1,83 @@
+"""Quickstart: the two MoE communication paradigms are equivalent.
+
+Builds one MoE expert layer sharded over an emulated 2-machine x 2-GPU
+cluster, runs the same batch through the expert-centric (All-to-All) and
+data-centric (expert-pulling) executors, and shows that
+
+* the outputs match exactly,
+* the gradients on every expert match exactly, and
+* the data-centric paradigm moves far fewer cross-machine bytes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.runtime import DataCentricMoE, ExpertCentricMoE, RankLayout
+from repro.tensorlib import Tensor
+
+HIDDEN = 32
+NUM_EXPERTS = 8
+TOP_K = 2
+TOKENS_PER_WORKER = 512
+
+
+def loss_of(outputs):
+    total = None
+    for out in outputs:
+        term = (out * out).sum()
+        total = term if total is None else total + term
+    return total
+
+
+def main():
+    layout = RankLayout(num_machines=2, workers_per_machine=2)
+    print(f"cluster: {layout.num_machines} machines x "
+          f"{layout.workers_per_machine} GPUs")
+
+    expert_centric = ExpertCentricMoE(
+        HIDDEN, NUM_EXPERTS, TOP_K, layout, rng=np.random.default_rng(1)
+    )
+    data_centric = DataCentricMoE(
+        HIDDEN, NUM_EXPERTS, TOP_K, layout, rng=np.random.default_rng(2)
+    )
+    data_centric.import_state(expert_centric.export_state())
+
+    rng = np.random.default_rng(42)
+    batches = [
+        rng.standard_normal((TOKENS_PER_WORKER, HIDDEN))
+        for _ in range(layout.world_size)
+    ]
+
+    ec_out = expert_centric.run([Tensor(b) for b in batches])
+    loss_of(ec_out).backward()
+    expert_centric.finish_backward()
+
+    dc_out = data_centric.run([Tensor(b) for b in batches])
+    loss_of(dc_out).backward()
+    data_centric.finish_backward()
+
+    worst_output = max(
+        float(np.abs(a.numpy() - b.numpy()).max())
+        for a, b in zip(ec_out, dc_out)
+    )
+    worst_grad = max(
+        float(np.abs(pa.grad - pb.grad).max())
+        for ea, eb in zip(expert_centric.experts, data_centric.experts)
+        for pa, pb in zip(ea.parameters(), eb.parameters())
+    )
+    print(f"max |output difference|:   {worst_output:.2e}")
+    print(f"max |gradient difference|: {worst_grad:.2e}")
+
+    ec_bytes = expert_centric.comm_log.cross_machine_bytes()
+    dc_bytes = data_centric.comm_log.cross_machine_bytes()
+    print(f"cross-machine traffic, expert-centric: {ec_bytes / 1e6:8.2f} MB")
+    print(f"cross-machine traffic, data-centric:   {dc_bytes / 1e6:8.2f} MB")
+    print(f"traffic reduction: {ec_bytes / dc_bytes:.1f}x")
+
+    assert worst_output < 1e-9 and worst_grad < 1e-8
+    print("\nsame numbers, fewer bytes — the Janus premise.")
+
+
+if __name__ == "__main__":
+    main()

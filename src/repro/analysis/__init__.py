@@ -1,0 +1,16 @@
+"""Analysis and reporting: traffic tables, speedups, text reports."""
+
+from .report import format_speedup_bars, format_table
+from .sweep import r_grid, render_r_heatmap
+from .traffic import TrafficRow, model_size_billion, table1, table1_row
+
+__all__ = [
+    "TrafficRow",
+    "format_speedup_bars",
+    "format_table",
+    "model_size_billion",
+    "r_grid",
+    "render_r_heatmap",
+    "table1",
+    "table1_row",
+]

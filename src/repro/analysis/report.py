@@ -1,0 +1,56 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["format_table", "format_speedup_bars"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[col]) for row in cells)) if cells else len(header)
+        for col, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_speedup_bars(
+    labels: Sequence[str],
+    speedups: Sequence[float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render speedups as ASCII bars (for figure-style benchmark output)."""
+    if len(labels) != len(speedups):
+        raise ValueError("labels and speedups must align")
+    peak = max(speedups) if speedups else 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label in labels), default=0)
+    for label, speedup in zip(labels, speedups):
+        bar = "#" * max(1, int(round(width * speedup / peak)))
+        lines.append(f"{label.ljust(label_width)}  {speedup:5.2f}x  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Parameter sweeps over the gain ratio R (Eq. 1).
+
+The paper's Discussion (§9) argues about where data-centric wins as batch
+size, sequence length and model size move; these helpers compute R over a
+grid and render it as an ASCII heatmap so a user can see the paradigm
+boundary for their own configuration at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.paradigm import gain_ratio
+
+__all__ = ["r_grid", "render_r_heatmap"]
+
+
+def r_grid(
+    batch_sizes: Sequence[int],
+    seq_lens: Sequence[int],
+    top_k: int,
+    num_machines: int,
+    hidden_dim: int,
+    experts_per_worker: int,
+) -> np.ndarray:
+    """R over a (batch, seq) grid; shape (len(batch_sizes), len(seq_lens))."""
+    grid = np.zeros((len(batch_sizes), len(seq_lens)))
+    for row, batch in enumerate(batch_sizes):
+        for col, seq in enumerate(seq_lens):
+            grid[row, col] = gain_ratio(
+                batch, seq, top_k, num_machines, hidden_dim,
+                experts_per_worker,
+            )
+    return grid
+
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def render_r_heatmap(
+    grid: np.ndarray,
+    batch_sizes: Sequence[int],
+    seq_lens: Sequence[int],
+    threshold: float = 1.0,
+) -> str:
+    """ASCII heatmap of log10(R); cells at or below ``threshold`` show
+    ``e`` (expert-centric wins), others a density glyph."""
+    if grid.shape != (len(batch_sizes), len(seq_lens)):
+        raise ValueError("grid shape must match the axis lengths")
+    log_grid = np.log10(np.maximum(grid, 1e-12))
+    top = max(log_grid.max(), 1.0)
+    lines: List[str] = []
+    header = "B \\ S " + " ".join(f"{seq:>6d}" for seq in seq_lens)
+    lines.append(header)
+    for row, batch in enumerate(batch_sizes):
+        cells = []
+        for col in range(len(seq_lens)):
+            if grid[row, col] <= threshold:
+                cells.append("     e")
+            else:
+                level = log_grid[row, col] / top
+                glyph = _GLYPHS[
+                    min(len(_GLYPHS) - 1, max(1, int(level * len(_GLYPHS))))
+                ]
+                cells.append(f"{grid[row, col]:5.1f}{glyph}")
+        lines.append(f"{batch:>5d} " + " ".join(cells))
+    lines.append(
+        f"('e' = expert-centric region, R <= {threshold}; "
+        "numbers = R where data-centric wins)"
+    )
+    return "\n".join(lines)

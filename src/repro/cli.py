@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan``     — per-block R analysis, paradigm choice and memory estimate
+  for a model on a cluster shape (the pre-flight check Janus runs before
+  training, §5.1.3).
+* ``simulate`` — run timed iterations of a model under a chosen paradigm
+  and print time/traffic.
+* ``table1``   — regenerate the paper's Table 1 traffic comparison.
+* ``goodput``  — the §3.1 All-to-All goodput stress test.
+
+Model names: moe-bert, moe-gpt, moe-transformer-xl, pr-moe (see
+``repro.config``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, table1
+from .cluster import Cluster
+from .config import (
+    TABLE1_MODELS,
+    ModelConfig,
+    moe_bert,
+    moe_gpt,
+    moe_transformer_xl,
+    pr_moe_transformer_xl,
+)
+from .core import (
+    engine_for,
+    estimate_data_centric,
+    estimate_expert_centric,
+    profile_model,
+)
+from .netsim import OutOfMemoryError, measure_all_to_all_goodput
+from .units import GIB
+
+MODEL_CHOICES = {
+    "moe-bert": moe_bert,
+    "moe-gpt": moe_gpt,
+    "moe-transformer-xl": moe_transformer_xl,
+}
+
+
+def _resolve_model(args) -> ModelConfig:
+    if args.model == "pr-moe":
+        config = pr_moe_transformer_xl(1 if args.machines <= 2 else 2)
+    else:
+        config = MODEL_CHOICES[args.model](args.experts)
+    overrides = {}
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.seq_len is not None:
+        overrides["seq_len"] = args.seq_len
+    if args.top_k is not None:
+        overrides["top_k"] = args.top_k
+    return config.scaled(**overrides) if overrides else config
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        choices=sorted(MODEL_CHOICES) + ["pr-moe"],
+        default="moe-gpt",
+        help="model configuration (Table 1 / §7.5 defaults)",
+    )
+    parser.add_argument("--experts", type=int, default=32,
+                        help="experts per MoE block")
+    parser.add_argument("--machines", type=int, default=4,
+                        help="number of 8-GPU machines")
+    parser.add_argument("--batch-size", type=int, default=None)
+    parser.add_argument("--seq-len", type=int, default=None)
+    parser.add_argument("--top-k", type=int, default=None)
+
+
+def cmd_plan(args) -> int:
+    config = _resolve_model(args)
+    cluster = Cluster(args.machines)
+    world = cluster.world_size
+    print(f"{config.name}: B={config.batch_size} S={config.seq_len} "
+          f"k={config.top_k} H={config.hidden_dim} on {world} GPUs")
+    rows = []
+    for profile in profile_model(config, args.machines, cluster.gpus_per_machine):
+        rows.append([
+            profile.block_index,
+            profile.num_experts,
+            profile.experts_per_worker,
+            f"{profile.ratio:.2f}",
+            profile.paradigm.value,
+            f"{profile.expert_centric_bytes / 1e9:.2f}",
+            f"{profile.data_centric_bytes / 1e9:.2f}",
+        ])
+    print(format_table(
+        ["Block", "#Experts", "E", "R", "Paradigm", "EC GB", "DC GB"], rows,
+    ))
+    for label, estimate in (
+        ("expert-centric", estimate_expert_centric(config, world)),
+        ("data-centric", estimate_data_centric(config, world)),
+    ):
+        verdict = "OOM" if estimate.total > 80 * GIB else "fits"
+        print(f"memory {label}: {estimate.total / GIB:.1f} GiB ({verdict})")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    config = _resolve_model(args)
+    cluster = Cluster(args.machines)
+    try:
+        engine = engine_for(args.paradigm, config, cluster)
+        result = engine.run_iteration(forward_only=args.inference)
+    except OutOfMemoryError as exc:
+        print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
+        return 1
+    phase = "inference pass" if args.inference else "training iteration"
+    print(f"{config.name} / {args.paradigm}: "
+          f"{result.seconds * 1e3:.1f} ms per {phase}")
+    print(f"  All-to-All time:     {result.all_to_all_seconds * 1e3:.1f} ms "
+          f"({result.all_to_all_share:.0%})")
+    print(f"  cross-node traffic:  {result.cross_node_gb_per_machine:.2f} "
+          f"GB/machine")
+    print("  paradigm per block:  "
+          + ", ".join(f"{b}:{p.value.split('-')[0]}"
+                      for b, p in sorted(result.paradigms.items())))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    rows = table1(TABLE1_MODELS)
+    print(format_table(
+        ["Model", "#Expert", "#GPU", "Size(B)", "E.C.(GiB)", "D.C.(GiB)",
+         "Reduction"],
+        [
+            [row.model, row.num_experts, row.num_gpus,
+             f"{row.model_size_b:.2f}", f"{row.expert_centric_gib:.2f}",
+             f"{row.data_centric_gib:.2f}", f"{row.reduction:.1f}x"]
+            for row in rows
+        ],
+        title="Table 1: per-machine cross-node traffic (forward phase)",
+    ))
+    return 0
+
+
+def cmd_goodput(args) -> int:
+    intra = measure_all_to_all_goodput(1, payload_bytes_per_pair=args.payload)
+    inter = measure_all_to_all_goodput(
+        args.machines, payload_bytes_per_pair=args.payload
+    )
+    print(f"intra-machine All-to-All: {intra.goodput_gbps:8.1f} Gbps/GPU")
+    print(f"inter-machine All-to-All: {inter.goodput_gbps:8.1f} Gbps/GPU")
+    print(f"gap: {intra.goodput_gbps / inter.goodput_gbps:.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Janus (SIGCOMM'23) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="per-block paradigm analysis")
+    _add_model_arguments(plan)
+    plan.set_defaults(func=cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="timed iteration simulation")
+    _add_model_arguments(simulate)
+    simulate.add_argument(
+        "--paradigm",
+        choices=["expert-centric", "data-centric", "unified"],
+        default="unified",
+    )
+    simulate.add_argument("--inference", action="store_true",
+                          help="forward-only pass (serving)")
+    simulate.set_defaults(func=cmd_simulate)
+
+    table = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table.set_defaults(func=cmd_table1)
+
+    goodput = sub.add_parser("goodput", help="All-to-All goodput stress test")
+    goodput.add_argument("--machines", type=int, default=4)
+    goodput.add_argument("--payload", type=float, default=32e6,
+                         help="bytes per GPU pair")
+    goodput.set_defaults(func=cmd_goodput)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Static model of the GPU cluster: hardware specs, devices, links, routes."""
+
+from .hardware import GpuSpec, LinkSpec, MachineSpec, a100_machine_spec
+from .topology import Cluster, Device, LinkId
+
+__all__ = [
+    "Cluster",
+    "Device",
+    "GpuSpec",
+    "LinkId",
+    "LinkSpec",
+    "MachineSpec",
+    "a100_machine_spec",
+]

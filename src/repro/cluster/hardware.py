@@ -1,0 +1,146 @@
+"""Hardware specifications for the simulated GPU cluster.
+
+The defaults mirror the paper's testbed (§5.2, §7.1): machines with
+8× NVIDIA A100 SXM 80 GB connected by NVLink/NVSwitch (600 GB/s per GPU),
+PCIe 4.0 ×16 to the host (64 GB/s) with one PCIe switch per two GPUs, and
+four 200 Gbps GDR NICs per machine, each NIC shared by one GPU pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import GIB, US, gbps, gbytes_per_s
+
+__all__ = ["LinkSpec", "GpuSpec", "MachineSpec", "a100_machine_spec"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static properties of one physical link class.
+
+    Attributes:
+        bandwidth: capacity in bytes/second (per direction; links are
+            full duplex and each direction is modelled independently).
+        latency: fixed per-transfer latency in seconds.
+    """
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self):
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Compute and memory properties of one GPU.
+
+    ``flops`` is the sustained throughput used by the compute-time model;
+    the default corresponds to an A100 running mixed-precision GEMMs at a
+    conservative fraction of its 312 TFLOPS peak.
+    """
+
+    flops: float = 180e12
+    memory_bytes: float = 80 * GIB
+    # Fixed cost per kernel launch (CUDA launch + framework dispatch).
+    # Charged once per expert GEMM group, it is what makes computing 32
+    # small expert batches more expensive than one big batched GEMM — the
+    # real-world tax on fine-grained data-centric execution.
+    kernel_overhead: float = 48e-6
+
+    def __post_init__(self):
+        if self.flops <= 0:
+            raise ValueError("flops must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.kernel_overhead < 0:
+            raise ValueError("kernel_overhead must be non-negative")
+
+    def effective_flops(self, hidden_dim: int) -> float:
+        """Sustained throughput for GEMMs of a given hidden dimension.
+
+        Small matrices cannot saturate an A100's tensor cores: kernels with
+        H=256 reach a fraction of the peak that H>=1024 GEMMs do.  Modelled
+        as a linear ramp clipped to [0.2, 0.85] of ``flops``.
+        """
+        if hidden_dim <= 0:
+            raise ValueError("hidden_dim must be positive")
+        efficiency = min(0.85, max(0.2, hidden_dim / 1024.0))
+        return self.flops * efficiency
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Topology and link classes of one machine.
+
+    ``gpus_per_nic`` GPUs share each NIC and ``gpus_per_pcie_switch`` GPUs
+    share each PCIe switch (both are 2 on the paper's A100 boxes).
+    """
+
+    num_gpus: int = 8
+    gpus_per_pcie_switch: int = 2
+    gpus_per_nic: int = 2
+    gpu: GpuSpec = field(default_factory=GpuSpec)
+    nvlink: LinkSpec = field(
+        default_factory=lambda: LinkSpec(gbytes_per_s(600.0), 2 * US)
+    )
+    pcie: LinkSpec = field(
+        default_factory=lambda: LinkSpec(gbytes_per_s(64.0), 3 * US)
+    )
+    nic: LinkSpec = field(default_factory=lambda: LinkSpec(gbps(200.0), 8 * US))
+    host_memory_bytes: float = 500 * GIB
+
+    def __post_init__(self):
+        if self.num_gpus <= 0:
+            raise ValueError("num_gpus must be positive")
+        if self.num_gpus % self.gpus_per_pcie_switch != 0:
+            raise ValueError(
+                "num_gpus must be divisible by gpus_per_pcie_switch"
+            )
+        if self.num_gpus % self.gpus_per_nic != 0:
+            raise ValueError("num_gpus must be divisible by gpus_per_nic")
+
+    @property
+    def num_pcie_switches(self) -> int:
+        return self.num_gpus // self.gpus_per_pcie_switch
+
+    @property
+    def num_nics(self) -> int:
+        return self.num_gpus // self.gpus_per_nic
+
+    def pcie_switch_of(self, local_rank: int) -> int:
+        """PCIe switch index serving the GPU with this local rank."""
+        self._check_rank(local_rank)
+        return local_rank // self.gpus_per_pcie_switch
+
+    def nic_of(self, local_rank: int) -> int:
+        """NIC index serving the GPU with this local rank."""
+        self._check_rank(local_rank)
+        return local_rank // self.gpus_per_nic
+
+    def pcie_peer_of(self, local_rank: int) -> int:
+        """The other GPU under the same PCIe switch (paper Fig. 8).
+
+        Only meaningful when ``gpus_per_pcie_switch == 2``.
+        """
+        if self.gpus_per_pcie_switch != 2:
+            raise ValueError(
+                "pcie_peer_of is defined only for 2 GPUs per PCIe switch"
+            )
+        self._check_rank(local_rank)
+        return local_rank ^ 1
+
+    def _check_rank(self, local_rank: int) -> None:
+        if not 0 <= local_rank < self.num_gpus:
+            raise ValueError(
+                f"local_rank {local_rank} out of range [0, {self.num_gpus})"
+            )
+
+
+def a100_machine_spec(num_gpus: int = 8) -> MachineSpec:
+    """The paper's A100 machine with a configurable GPU count."""
+    return MachineSpec(num_gpus=num_gpus)

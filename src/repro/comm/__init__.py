@@ -1,0 +1,18 @@
+"""Pull-based communication substrate (paper §6): socket control plane +
+RDMA data plane."""
+
+from .endpoint import ControlPlane, Endpoint
+from .messages import Ack, ControlMessage, GradPush, PullRequest, PullResponse
+from .pull import PullServer, PullTransport
+
+__all__ = [
+    "Ack",
+    "ControlMessage",
+    "ControlPlane",
+    "Endpoint",
+    "GradPush",
+    "PullRequest",
+    "PullResponse",
+    "PullServer",
+    "PullTransport",
+]

@@ -1,0 +1,79 @@
+"""Socket-like endpoints for the control plane (paper §6).
+
+Each device can own an :class:`Endpoint`: a mailbox fed by simulated
+control-plane sends.  "The target worker listens to the port of socket all
+the time" — modelled as a listener process draining the mailbox.  Control
+messages cross the same physical links as data but carry negligible bytes;
+their cost is latency (link latency plus a fixed software overhead per
+message).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..cluster import Device
+from ..netsim import Fabric
+from ..simkit import Store
+from .messages import ControlMessage
+
+__all__ = ["ControlPlane", "Endpoint"]
+
+# Kernel/userspace socket processing cost per control message.
+SOCKET_OVERHEAD_S = 15e-6
+
+
+class Endpoint:
+    """A device's control-plane mailbox."""
+
+    def __init__(self, plane: "ControlPlane", device: Device):
+        self.plane = plane
+        self.device = device
+        self.inbox = Store(plane.fabric.env)
+        self.received = 0
+
+    def recv(self):
+        """Event yielding the next control message (blocks until one lands)."""
+        return self.inbox.get()
+
+    def _deliver(self, message: ControlMessage) -> None:
+        self.received += 1
+        self.inbox.put(message)
+
+
+class ControlPlane:
+    """Routes control messages between endpoints over the fabric."""
+
+    def __init__(self, fabric: Fabric, socket_overhead: float = SOCKET_OVERHEAD_S):
+        if socket_overhead < 0:
+            raise ValueError("socket_overhead must be non-negative")
+        self.fabric = fabric
+        self.socket_overhead = socket_overhead
+        self._endpoints: Dict[Device, Endpoint] = {}
+
+    def endpoint(self, device: Device) -> Endpoint:
+        """Get (or lazily create) the endpoint of ``device``."""
+        if device not in self._endpoints:
+            self._endpoints[device] = Endpoint(self, device)
+        return self._endpoints[device]
+
+    def send(self, message: ControlMessage):
+        """Start delivering ``message``; returns an event for its arrival."""
+        if message.receiver not in self._endpoints:
+            # Create the endpoint eagerly so the message is never dropped.
+            self.endpoint(message.receiver)
+        env = self.fabric.env
+
+        def deliver():
+            flow = self.fabric.transfer(
+                message.sender,
+                message.receiver,
+                message.wire_bytes,
+                tag=("control", type(message).__name__, message.message_id),
+            )
+            yield flow.done
+            yield env.timeout(self.socket_overhead)
+            self._endpoints[message.receiver]._deliver(message)
+            return message
+
+        return env.process(deliver())

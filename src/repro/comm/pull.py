@@ -1,0 +1,147 @@
+"""The pull primitive: control-plane request + data-plane response (§6).
+
+``PullTransport.pull`` implements exactly the sequence the paper describes:
+"the requester sends a request to the target worker through the socket, and
+calls the recv API to receive data.  The target worker listens to the port
+of the socket all the time.  After receiving the request, the target worker
+calls the send API to send data to the requester through the RDMA
+connection."
+
+A :class:`PullServer` runs per serving device: it drains the device's
+endpoint mailbox and issues the data-plane transfer for each request,
+optionally bounded by a service concurrency (how many outstanding RDMA
+sends the worker drives at once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..cluster import Device
+from ..netsim import Fabric
+from ..simkit import Event, Resource
+from .endpoint import ControlPlane
+from .messages import GradPush, PullRequest
+
+__all__ = ["PullServer", "PullTransport"]
+
+
+class PullServer:
+    """Serves pull requests arriving at one device's endpoint."""
+
+    def __init__(
+        self,
+        transport: "PullTransport",
+        device: Device,
+        concurrency: Optional[int] = None,
+    ):
+        if concurrency is not None and concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        self.transport = transport
+        self.device = device
+        self.served = 0
+        env = transport.fabric.env
+        self._slots = (
+            Resource(env, capacity=concurrency) if concurrency else None
+        )
+        self._process = env.process(self._listen())
+
+    def _listen(self):
+        endpoint = self.transport.plane.endpoint(self.device)
+        env = self.transport.fabric.env
+        while True:
+            message = yield endpoint.recv()
+            if not isinstance(message, PullRequest):
+                continue  # pushes etc. are handled by their own waiters
+            env.process(self._serve(message))
+
+    def _serve(self, request: PullRequest):
+        transport = self.transport
+        if self._slots is not None:
+            with self._slots.request() as slot:
+                yield slot
+                yield from self._send_payload(request)
+        else:
+            yield from self._send_payload(request)
+
+    def _send_payload(self, request: PullRequest):
+        flow = self.transport.fabric.transfer(
+            self.device,
+            request.sender,
+            request.payload_bytes,
+            tag=("pull-data", request.key),
+        )
+        yield flow.done
+        self.served += 1
+        self.transport._complete(request.message_id)
+
+
+class PullTransport:
+    """Pull/push primitives over a fabric + control plane."""
+
+    def __init__(self, fabric: Fabric, plane: Optional[ControlPlane] = None):
+        self.fabric = fabric
+        self.plane = plane if plane is not None else ControlPlane(fabric)
+        self._servers: Dict[Device, PullServer] = {}
+        self._pending: Dict[int, Event] = {}
+
+    def serve(self, device: Device, concurrency: Optional[int] = None) -> PullServer:
+        """Start (or return) the pull server for ``device``."""
+        if device not in self._servers:
+            self._servers[device] = PullServer(self, device, concurrency)
+        return self._servers[device]
+
+    def pull(
+        self,
+        requester: Device,
+        target: Device,
+        payload_bytes: float,
+        key: Hashable = None,
+    ) -> Event:
+        """Pull ``payload_bytes`` from ``target``; event fires on receipt.
+
+        The target must be serving (:meth:`serve`) or the pull never
+        completes — exactly like a real socket with no listener.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        request = PullRequest(
+            sender=requester,
+            receiver=target,
+            key=key,
+            payload_bytes=payload_bytes,
+        )
+        done = self.fabric.env.event()
+        self._pending[request.message_id] = done
+        self.plane.send(request)
+        return done
+
+    def push(
+        self,
+        sender: Device,
+        target: Device,
+        payload_bytes: float,
+        key: Hashable = None,
+    ) -> Event:
+        """Push a payload (gradient return): control header + data plane."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        env = self.fabric.env
+        header = GradPush(
+            sender=sender, receiver=target, key=key,
+            payload_bytes=payload_bytes,
+        )
+
+        def run():
+            yield self.plane.send(header)
+            flow = self.fabric.transfer(
+                sender, target, payload_bytes, tag=("push-data", key)
+            )
+            yield flow.done
+
+        return env.process(run())
+
+    def _complete(self, message_id: int) -> None:
+        done = self._pending.pop(message_id, None)
+        if done is not None and not done.triggered:
+            done.succeed()

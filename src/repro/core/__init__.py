@@ -1,0 +1,74 @@
+"""Janus core: paradigm selection, task queue schedulers, timed engines."""
+
+from .context import IterationContext, JanusFeatures
+from .engine import IterationResult, JanusEngine
+from .inter_scheduler import InterNodeScheduler
+from .intra_scheduler import IntraNodeScheduler
+from .memory_model import (
+    MemoryEstimate,
+    estimate_data_centric,
+    estimate_expert_centric,
+    estimate_mixed,
+)
+from .paradigm import (
+    BlockCommProfile,
+    Paradigm,
+    comm_data_centric,
+    comm_expert_centric,
+    gain_ratio,
+    profile_block,
+    profile_model,
+    select_paradigm,
+)
+from .priority import (
+    PcieCopyStep,
+    internal_pull_order,
+    internal_pull_priority,
+    pcie_peer_schedule,
+    split_external_groups,
+)
+from .tensor_parallel import TensorParallelPlan, plan_tensor_parallel
+from .unified import (
+    data_centric_engine,
+    engine_for,
+    expert_centric_engine,
+    paradigm_map,
+    unified_engine,
+)
+from .workload import BlockWorkload, IterationWorkload, build_workload
+
+__all__ = [
+    "BlockCommProfile",
+    "BlockWorkload",
+    "InterNodeScheduler",
+    "IntraNodeScheduler",
+    "IterationContext",
+    "IterationResult",
+    "IterationWorkload",
+    "JanusEngine",
+    "JanusFeatures",
+    "MemoryEstimate",
+    "Paradigm",
+    "TensorParallelPlan",
+    "PcieCopyStep",
+    "build_workload",
+    "comm_data_centric",
+    "comm_expert_centric",
+    "data_centric_engine",
+    "engine_for",
+    "estimate_data_centric",
+    "estimate_expert_centric",
+    "estimate_mixed",
+    "expert_centric_engine",
+    "gain_ratio",
+    "internal_pull_order",
+    "internal_pull_priority",
+    "paradigm_map",
+    "pcie_peer_schedule",
+    "plan_tensor_parallel",
+    "profile_block",
+    "profile_model",
+    "select_paradigm",
+    "split_external_groups",
+    "unified_engine",
+]

@@ -1,0 +1,214 @@
+"""Shared per-iteration state for the timed Janus engine.
+
+One :class:`IterationContext` is created per simulated training iteration.
+It owns the synchronization events that tie workers, intra-node schedulers
+and inter-node schedulers together, and the per-worker credit buffers and
+per-machine caches.  Expert readiness is tracked separately for the forward
+sweep (phase ``"fwd"``) and the backward sweep (phase ``"bwd"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cluster import Device
+from ..netsim import Fabric
+from ..runtime.layout import ExpertPlacement
+from ..simkit import Container, Environment, Event, Store
+from ..trace import TraceRecorder
+from .workload import IterationWorkload
+
+__all__ = ["JanusFeatures", "IterationContext", "PHASES"]
+
+PHASES = ("fwd", "bwd")
+
+
+@dataclass(frozen=True)
+class JanusFeatures:
+    """Feature flags for the data-centric engine (the §7.2 ablation axes).
+
+    ``topology_aware`` enables Algorithm 1's staggered intra-node order and
+    the PCIe-switch peer scheduling; ``prefetch`` starts expert pulls at
+    iteration start instead of at MoE-block entry (§5.3); ``hierarchical``
+    enables the per-machine cache + gradient pre-reduction (§5.1.2) —
+    disabling it makes every worker pull remote experts itself (an extra
+    ablation beyond the paper's).  ``credit_size`` is C of §5.1.1.
+    """
+
+    topology_aware: bool = True
+    prefetch: bool = True
+    hierarchical: bool = True
+    credit_size: int = 16
+    # Expert-centric blocks: Tutel-style hierarchical All-to-All (per
+    # machine-pair aggregation striped over NICs) vs the naive flat
+    # per-GPU-pair decomposition.
+    hierarchical_a2a: bool = True
+
+    def __post_init__(self):
+        if self.credit_size <= 0:
+            raise ValueError("credit_size must be positive")
+
+
+class IterationContext:
+    """Events, buffers and caches for one simulated iteration."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        workload: IterationWorkload,
+        features: JanusFeatures,
+        trace: TraceRecorder,
+        dc_blocks=None,
+    ):
+        """``dc_blocks``: MoE block indices that run data-centric (and thus
+        need the schedulers).  Defaults to every MoE block."""
+        self.env = env
+        self.fabric = fabric
+        self.workload = workload
+        self.features = features
+        self.trace = trace
+        layout = workload.layout
+        self.layout = layout
+        cluster = fabric.cluster
+
+        self.gpu_of: Dict[int, Device] = {
+            rank: cluster.gpu_device(rank) for rank in range(layout.world_size)
+        }
+        self.placements: Dict[int, ExpertPlacement] = {
+            block.index: ExpertPlacement(block.num_experts, layout.world_size)
+            for block in workload.blocks
+            if block.is_moe
+        }
+
+        moe_indices = list(self.placements)
+        self.dc_block_indices = sorted(
+            moe_indices if dc_blocks is None else dc_blocks
+        )
+        if not set(self.dc_block_indices) <= set(moe_indices):
+            raise ValueError("dc_blocks must be a subset of the MoE blocks")
+        world = layout.world_size
+
+        # Worker r entered block b in each phase: gates non-prefetch fetching.
+        self.block_entry: Dict[Tuple[str, int, int], Event] = {
+            (phase, b, r): env.event()
+            for phase in PHASES
+            for b in moe_indices
+            for r in range(world)
+        }
+        # Expert e ready in worker r's GPU: (phase, block, rank, expert).
+        self._ready_event: Dict[Tuple[str, int, int, int], Event] = {}
+        # Per (phase, block, worker) store of arrived experts.
+        self._ready_store: Dict[Tuple[str, int, int], Store] = {}
+        # Expert e resident in machine M's CPU cache: (block, machine, e).
+        self._cached_event: Dict[Tuple[int, int, int], Event] = {}
+        # Events that must complete before the iteration ends (grad arrival).
+        self.grad_delivered: List[Event] = []
+        # Per-machine stores feeding the gradient pre-reduce collectors.
+        self._grad_contrib: Dict[Tuple[int, int, int], Store] = {}
+
+        self.credits: Dict[int, Container] = {
+            rank: Container(
+                env, capacity=features.credit_size, init=features.credit_size
+            )
+            for rank in range(world)
+        }
+        self.cache_fills: Dict[int, int] = {
+            m: 0 for m in range(layout.num_machines)
+        }
+
+        self.iteration_start = env.event()
+
+    # -- routing helpers -------------------------------------------------------
+
+    def needed_experts(self, block_index: int, rank: int) -> List[int]:
+        """Non-resident experts worker ``rank`` must obtain for the block."""
+        block = self.workload.blocks[block_index]
+        placement = self.placements[block_index]
+        routing = block.routing[rank]
+        return [
+            expert
+            for expert in range(block.num_experts)
+            if routing[expert] > 0 and placement.owner(expert) != rank
+        ]
+
+    def needed_internal(self, block_index: int, rank: int) -> List[int]:
+        placement = self.placements[block_index]
+        machine = self.layout.machine_of(rank)
+        return [
+            expert
+            for expert in self.needed_experts(block_index, rank)
+            if self.layout.machine_of(placement.owner(expert)) == machine
+        ]
+
+    def needed_external(self, block_index: int, rank: int) -> List[int]:
+        placement = self.placements[block_index]
+        machine = self.layout.machine_of(rank)
+        return [
+            expert
+            for expert in self.needed_experts(block_index, rank)
+            if self.layout.machine_of(placement.owner(expert)) != machine
+        ]
+
+    def own_experts_with_tokens(self, block_index: int, rank: int) -> List[int]:
+        block = self.workload.blocks[block_index]
+        placement = self.placements[block_index]
+        return [
+            expert
+            for expert in placement.experts_of(rank)
+            if block.routing[rank][expert] > 0
+        ]
+
+    def machine_external_experts(self, block_index: int, machine: int) -> List[int]:
+        """External experts any worker of ``machine`` needs, ascending."""
+        needed = set()
+        for rank in self.layout.ranks_of_machine(machine):
+            needed.update(self.needed_external(block_index, rank))
+        return sorted(needed)
+
+    # -- event registries -----------------------------------------------------------
+
+    def ready_event(self, phase: str, block: int, rank: int, expert: int) -> Event:
+        key = (phase, block, rank, expert)
+        if key not in self._ready_event:
+            self._ready_event[key] = self.env.event()
+        return self._ready_event[key]
+
+    def ready_store(self, phase: str, block: int, rank: int) -> Store:
+        key = (phase, block, rank)
+        if key not in self._ready_store:
+            self._ready_store[key] = Store(self.env)
+        return self._ready_store[key]
+
+    def cached_event(self, block: int, machine: int, expert: int) -> Event:
+        key = (block, machine, expert)
+        if key not in self._cached_event:
+            self._cached_event[key] = self.env.event()
+        return self._cached_event[key]
+
+    def grad_contrib_store(self, block: int, machine: int, expert: int) -> Store:
+        key = (block, machine, expert)
+        if key not in self._grad_contrib:
+            self._grad_contrib[key] = Store(self.env)
+        return self._grad_contrib[key]
+
+    def mark_ready(self, phase: str, block: int, rank: int, expert: int) -> None:
+        event = self.ready_event(phase, block, rank, expert)
+        if not event.triggered:
+            event.succeed()
+        self.ready_store(phase, block, rank).put(expert)
+        if phase == "fwd":
+            self.trace.mark(
+                "expert_ready",
+                self.env.now,
+                worker=rank,
+                block=block,
+                expert=expert,
+            )
+
+    def fetch_start_event(self, phase: str, block: int, rank: int) -> Event:
+        """When worker ``rank``'s fetching for ``block`` may begin."""
+        if phase == "fwd" and self.features.prefetch:
+            return self.iteration_start
+        return self.block_entry[(phase, block, rank)]

@@ -1,0 +1,154 @@
+"""Inter-Node Scheduler: the per-machine half of the Janus Task Queue.
+
+Sits in host (CPU) memory (§4).  In the forward phase it pulls every
+external expert the machine's workers need from its home machine over the
+RDMA NICs — once per (machine, expert), the hierarchical cache of §5.1.2 —
+and announces it through the Cache Manager events.  In the backward phase it
+collects the local workers' gradient contributions for each pulled expert,
+pre-reduces them, and pushes a single gradient payload back to the expert's
+home machine.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cluster import Device
+from ..simkit import AnyOf
+from .context import IterationContext
+
+__all__ = ["InterNodeScheduler"]
+
+
+class InterNodeScheduler:
+    """Cross-machine expert fetching and gradient return for one machine."""
+
+    def __init__(self, ctx: IterationContext, machine: int):
+        self.ctx = ctx
+        self.machine = machine
+        self.host = Device.host(machine)
+        self.num_nics = ctx.fabric.cluster.spec.num_nics
+
+    def moe_blocks(self, reverse: bool = False) -> List[int]:
+        indices = list(self.ctx.dc_block_indices)
+        return list(reversed(indices)) if reverse else indices
+
+    # -- forward: hierarchical fetch ------------------------------------------------
+
+    def fetch_pipelines(self):
+        """One sequential fetch chain per NIC (fine-grained §5.1 pulls)."""
+        assignments: List[List[tuple]] = [[] for _ in range(self.num_nics)]
+        position = 0
+        for block in self.moe_blocks():
+            for expert in self._external_order(block):
+                assignments[position % self.num_nics].append((block, expert))
+                position += 1
+        return [
+            self._fetch_chain(nic, tasks)
+            for nic, tasks in enumerate(assignments)
+            if tasks
+        ]
+
+    def _external_order(self, block: int) -> List[int]:
+        """Order of cross-machine pulls for one block.
+
+        Topology-aware: stagger source machines the same way Algorithm 1
+        staggers source GPUs, so the n machines do not all hammer machine 0's
+        NICs first.  Otherwise: plain ascending expert id.
+        """
+        ctx = self.ctx
+        experts = ctx.machine_external_experts(block, self.machine)
+        if not ctx.features.topology_aware:
+            return experts
+        placement = ctx.placements[block]
+        num_machines = ctx.layout.num_machines
+
+        def key(expert: int):
+            owner_machine = ctx.layout.machine_of(placement.owner(expert))
+            return ((owner_machine - self.machine) % num_machines, expert)
+
+        return sorted(experts, key=key)
+
+    def _fetch_chain(self, nic: int, tasks: List[tuple]):
+        ctx = self.ctx
+        from ..comm.endpoint import SOCKET_OVERHEAD_S
+
+        for block, expert in tasks:
+            yield self._fetch_gate(block)
+            owner = ctx.placements[block].owner(expert)
+            owner_machine = ctx.layout.machine_of(owner)
+            # Control plane (§6): the pull request travels to the expert's
+            # home machine over the socket first — latency only, the
+            # payload rides the RDMA data plane below.
+            request = ctx.fabric.transfer(
+                self.host,
+                Device.host(owner_machine),
+                0.0,
+                nic_index=nic,
+                tag=("pull-request", block, self.machine, expert),
+            )
+            yield request.done
+            yield ctx.env.timeout(SOCKET_OVERHEAD_S)
+            flow = ctx.fabric.transfer(
+                Device.host(owner_machine),
+                self.host,
+                ctx.workload.expert_bytes,
+                nic_index=nic,
+                tag=("fetch-external", block, self.machine, expert),
+            )
+            yield flow.done
+            ctx.cache_fills[self.machine] += 1
+            cached = ctx.cached_event(block, self.machine, expert)
+            if not cached.triggered:
+                cached.succeed()
+
+    def _fetch_gate(self, block: int):
+        """Fetching may start at iteration start (prefetch) or when the
+        first local worker enters the block."""
+        ctx = self.ctx
+        if ctx.features.prefetch:
+            return ctx.iteration_start
+        entries = [
+            ctx.block_entry[("fwd", block, rank)]
+            for rank in ctx.layout.ranks_of_machine(self.machine)
+        ]
+        return AnyOf(ctx.env, entries)
+
+    # -- backward: gradient pre-reduction -------------------------------------------
+
+    def grad_collectors(self):
+        """One collector per (block, external expert): wait for every local
+        contribution, pre-reduce, send one payload home."""
+        processes = []
+        for block in self.moe_blocks(reverse=True):
+            for expert in self.ctx.machine_external_experts(block, self.machine):
+                contributors = self._contributor_count(block, expert)
+                if contributors:
+                    processes.append(
+                        self._collect_and_push(block, expert, contributors)
+                    )
+        return processes
+
+    def _contributor_count(self, block: int, expert: int) -> int:
+        return sum(
+            1
+            for rank in self.ctx.layout.ranks_of_machine(self.machine)
+            if expert in self.ctx.needed_external(block, rank)
+        )
+
+    def _collect_and_push(self, block: int, expert: int, contributors: int):
+        ctx = self.ctx
+        store = ctx.grad_contrib_store(block, self.machine, expert)
+        for _ in range(contributors):
+            yield store.get()
+        owner = ctx.placements[block].owner(expert)
+        owner_machine = ctx.layout.machine_of(owner)
+        nic = expert % self.num_nics
+        flow = ctx.fabric.transfer(
+            self.host,
+            Device.host(owner_machine),
+            ctx.workload.expert_bytes,
+            nic_index=nic,
+            tag=("grad-push", block, self.machine, expert),
+        )
+        yield flow.done

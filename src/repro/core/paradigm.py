@@ -1,0 +1,198 @@
+"""Paradigm selection: the communication-volume analysis of §5.1.3.
+
+Implements the paper's closed forms for per-machine cross-node traffic of an
+MoE block's forward phase:
+
+* data-centric:    ``Comm_DC = 8 H^2 * E * m * (n-1)`` elements
+  (each machine broadcasts its ``E*m`` experts of ``8H^2`` parameters to the
+  other ``n-1`` machines),
+* expert-centric:  ``Comm_EC = 2 m H T * (n-1)/n`` elements
+  (two All-to-Alls over the ``T = B*S*k`` tokens per worker, balanced
+  routing as the paper's lower-bound assumption),
+
+and the gain ratio ``R = Comm_EC / Comm_DC = B*S*k / (4*n*H*E)`` (Eq. 1).
+``R > 1`` selects the data-centric paradigm for a block; ``R <= 1`` keeps
+the expert-centric All-to-All (§5.1.3 "Discussion" and §7.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import ModelConfig
+
+__all__ = [
+    "Paradigm",
+    "BlockCommProfile",
+    "comm_data_centric",
+    "comm_expert_centric",
+    "gain_ratio",
+    "select_paradigm",
+    "profile_block",
+    "profile_model",
+]
+
+
+class Paradigm(Enum):
+    """Which communication paradigm executes one MoE block."""
+
+    EXPERT_CENTRIC = "expert-centric"
+    DATA_CENTRIC = "data-centric"
+
+
+def comm_data_centric(
+    hidden_dim: int,
+    experts_per_worker: int,
+    workers_per_machine: int,
+    num_machines: int,
+    dtype_bytes: int = 4,
+) -> float:
+    """Per-machine cross-node bytes, forward phase, data-centric (§5.1.3)."""
+    _check_cluster(num_machines, workers_per_machine)
+    if experts_per_worker <= 0:
+        raise ValueError("experts_per_worker must be positive")
+    elements = (
+        8
+        * hidden_dim**2
+        * experts_per_worker
+        * workers_per_machine
+        * (num_machines - 1)
+    )
+    return float(elements) * dtype_bytes
+
+
+def comm_expert_centric(
+    hidden_dim: int,
+    tokens_per_worker: int,
+    workers_per_machine: int,
+    num_machines: int,
+    dtype_bytes: int = 4,
+) -> float:
+    """Per-machine cross-node bytes, forward phase, expert-centric (§5.1.3).
+
+    Balanced-routing lower bound: two All-to-Alls, each shipping the
+    ``(n-1)/n`` fraction of the machine's ``m*T`` tokens off-machine.
+    """
+    _check_cluster(num_machines, workers_per_machine)
+    if tokens_per_worker <= 0:
+        raise ValueError("tokens_per_worker must be positive")
+    elements = (
+        2
+        * workers_per_machine
+        * hidden_dim
+        * tokens_per_worker
+        * (num_machines - 1)
+        / num_machines
+    )
+    return float(elements) * dtype_bytes
+
+
+def gain_ratio(
+    batch_size: int,
+    seq_len: int,
+    top_k: int,
+    num_machines: int,
+    hidden_dim: int,
+    experts_per_worker: int,
+) -> float:
+    """Eq. 1: ``R = B*S*k / (4*n*H*E)``."""
+    if min(batch_size, seq_len, top_k, num_machines, hidden_dim,
+           experts_per_worker) <= 0:
+        raise ValueError("all gain-ratio inputs must be positive")
+    return (batch_size * seq_len * top_k) / (
+        4.0 * num_machines * hidden_dim * experts_per_worker
+    )
+
+
+def select_paradigm(ratio: float, threshold: float = 1.0) -> Paradigm:
+    """The paper's rule: data-centric iff R > threshold.
+
+    The default threshold is 1 (Eq. 1's break-even).  §7.5 raises it
+    conservatively when deployment measurements show the data-centric
+    implementation cannot reach the analytic bound (e.g. the PCIe link
+    between switch and CPU capping cache-fill bandwidth), which is how the
+    paper decides to run PR-MoE's deep E=4 blocks expert-centric.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    return (
+        Paradigm.DATA_CENTRIC if ratio > threshold else Paradigm.EXPERT_CENTRIC
+    )
+
+
+@dataclass(frozen=True)
+class BlockCommProfile:
+    """Communication analysis of one MoE block on a given cluster."""
+
+    block_index: int
+    num_experts: int
+    experts_per_worker: int
+    ratio: float
+    paradigm: Paradigm
+    expert_centric_bytes: float
+    data_centric_bytes: float
+
+    @property
+    def traffic_reduction(self) -> float:
+        """How much less cross-node traffic the chosen paradigm moves."""
+        if self.paradigm is Paradigm.DATA_CENTRIC:
+            return self.expert_centric_bytes / self.data_centric_bytes
+        return 1.0
+
+
+def profile_block(
+    config: ModelConfig,
+    block_index: int,
+    num_machines: int,
+    workers_per_machine: int,
+) -> BlockCommProfile:
+    """Analyze one MoE block: traffic under both paradigms, R, and choice."""
+    world_size = num_machines * workers_per_machine
+    experts_per_worker = config.experts_per_worker(block_index, world_size)
+    ratio = gain_ratio(
+        config.batch_size,
+        config.seq_len,
+        config.top_k,
+        num_machines,
+        config.hidden_dim,
+        experts_per_worker,
+    )
+    return BlockCommProfile(
+        block_index=block_index,
+        num_experts=config.num_experts(block_index),
+        experts_per_worker=experts_per_worker,
+        ratio=ratio,
+        paradigm=select_paradigm(ratio),
+        expert_centric_bytes=comm_expert_centric(
+            config.hidden_dim,
+            config.tokens_per_worker,
+            workers_per_machine,
+            num_machines,
+            config.dtype_bytes,
+        ),
+        data_centric_bytes=comm_data_centric(
+            config.hidden_dim,
+            experts_per_worker,
+            workers_per_machine,
+            num_machines,
+            config.dtype_bytes,
+        ),
+    )
+
+
+def profile_model(
+    config: ModelConfig, num_machines: int, workers_per_machine: int
+):
+    """Profiles for every MoE block of the model, in block order."""
+    return [
+        profile_block(config, index, num_machines, workers_per_machine)
+        for index in config.moe_block_indices
+    ]
+
+
+def _check_cluster(num_machines: int, workers_per_machine: int) -> None:
+    if num_machines < 2:
+        raise ValueError("cross-node analysis needs at least 2 machines")
+    if workers_per_machine <= 0:
+        raise ValueError("workers_per_machine must be positive")

@@ -1,0 +1,107 @@
+"""Topology-aware priority strategies (§5.2).
+
+Two strategies:
+
+1. **Staggered intra-node pull order** (Algorithm 1, Fig. 7): worker ``r``
+   pulls internal experts starting from the next worker's experts and wraps
+   around, so at any time each GPU's NVSwitch egress port serves one puller
+   instead of all of them stampeding worker 0 first.
+
+2. **PCIe-switch-aware peer scheduling** (Fig. 8/9): the two GPUs under one
+   PCIe switch split the externally-cached experts into two groups; each GPU
+   copies its own group from CPU memory over PCIe and picks up the other
+   group from its peer over NVLink, halving the load on the switch uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "internal_pull_priority",
+    "internal_pull_order",
+    "split_external_groups",
+    "PcieCopyStep",
+    "pcie_peer_schedule",
+]
+
+
+def internal_pull_priority(
+    expert_slot: int, rank: int, workers_per_machine: int, experts_per_worker: int
+) -> int:
+    """Priority P_i^r of pulling machine-local expert slot ``i`` into worker
+    ``rank`` (§5.2); smaller is earlier.  Own experts get priority -1 (they
+    are already local)."""
+    owner = expert_slot // experts_per_worker
+    if owner == rank:
+        return -1
+    if owner > rank:
+        return owner - rank
+    return owner + workers_per_machine - rank
+
+
+def internal_pull_order(
+    rank: int, workers_per_machine: int, experts_per_worker: int,
+    staggered: bool = True,
+) -> List[int]:
+    """Machine-local expert slots worker ``rank`` pulls, in pull order.
+
+    ``staggered=True`` is Algorithm 1: slots ``[(r+1)*E, m*E)`` then
+    ``[0, r*E)``.  ``staggered=False`` is the naive order every worker
+    shares (``[0, m*E)`` minus its own slots), which creates the Fig. 7(a)
+    egress hotspots.
+    """
+    if not 0 <= rank < workers_per_machine:
+        raise ValueError(f"rank {rank} out of range")
+    total = workers_per_machine * experts_per_worker
+    own_start = rank * experts_per_worker
+    own_stop = own_start + experts_per_worker
+    if staggered:
+        return list(range(own_stop, total)) + list(range(0, own_start))
+    return [slot for slot in range(total) if not own_start <= slot < own_stop]
+
+
+def split_external_groups(
+    external_experts: Sequence[int], local_rank: int
+) -> Tuple[List[int], List[int]]:
+    """Split cached external experts between the two GPUs of a PCIe pair.
+
+    Returns ``(mine, peers)``: the even-lane GPU of the pair takes the even
+    positions, the odd-lane GPU the odd positions, so the two groups are
+    disjoint and together cover everything.
+    """
+    lane = local_rank % 2
+    mine = [expert for pos, expert in enumerate(external_experts) if pos % 2 == lane]
+    peers = [expert for pos, expert in enumerate(external_experts) if pos % 2 != lane]
+    return mine, peers
+
+
+@dataclass(frozen=True)
+class PcieCopyStep:
+    """One stage-2 copy: bring an external expert into a GPU."""
+
+    expert: int
+    via: str  # "pcie" (from CPU cache) or "peer" (NVLink from the pair GPU)
+
+
+def pcie_peer_schedule(
+    external_experts: Sequence[int], local_rank: int, enabled: bool = True
+) -> List[PcieCopyStep]:
+    """Stage-2 copy schedule for one GPU (Fig. 9).
+
+    With the strategy enabled, the GPU interleaves: copy one expert of its
+    own group via PCIe, then one of the peer's group via NVLink (the peer
+    fetched it in the previous interval).  Disabled, every expert comes
+    straight over PCIe — both pair GPUs hammer the switch uplink.
+    """
+    if not enabled:
+        return [PcieCopyStep(expert, "pcie") for expert in external_experts]
+    mine, peers = split_external_groups(external_experts, local_rank)
+    schedule: List[PcieCopyStep] = []
+    for index in range(max(len(mine), len(peers))):
+        if index < len(mine):
+            schedule.append(PcieCopyStep(mine[index], "pcie"))
+        if index < len(peers):
+            schedule.append(PcieCopyStep(peers[index], "peer"))
+    return schedule

@@ -1,0 +1,163 @@
+"""Unified Janus: per-block paradigm selection (§5.1.3 "Discussion", §7.5).
+
+Janus evaluates the gain ratio R for every MoE block before training starts
+and runs blocks with R > 1 data-centric and the rest expert-centric.  This
+module provides the selection plus convenience constructors for the three
+engine flavours compared in the paper:
+
+* ``expert_centric_engine`` — every MoE block uses All-to-All (the Tutel
+  baseline and the "expert-centric paradigm in Janus" ablation baseline);
+* ``data_centric_engine``   — every MoE block pulls experts;
+* ``unified_engine``        — per-block choice by R (full Janus).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..config import ModelConfig
+from .context import JanusFeatures
+from .engine import JanusEngine
+from .paradigm import Paradigm
+from .workload import IterationWorkload, build_workload
+
+__all__ = [
+    "paradigm_map",
+    "unified_engine",
+    "expert_centric_engine",
+    "data_centric_engine",
+    "engine_for",
+]
+
+
+def paradigm_map(
+    config: ModelConfig, cluster: Cluster, threshold: float = 1.0
+) -> Dict[int, Paradigm]:
+    """Per-MoE-block paradigm choice by the R metric (Eq. 1).
+
+    ``threshold`` is the conservative cut-over of §7.5: blocks with
+    R <= threshold run expert-centric (the paper raises it above 1 when the
+    deployed data-centric path cannot reach the analytic bound, e.g. PCIe
+    capping cache-fill bandwidth).
+    """
+    from .paradigm import gain_ratio, select_paradigm
+
+    mapping = {}
+    world = cluster.num_machines * cluster.gpus_per_machine
+    for index in config.moe_block_indices:
+        ratio = gain_ratio(
+            config.batch_size,
+            config.seq_len,
+            config.top_k,
+            cluster.num_machines,
+            config.hidden_dim,
+            config.experts_per_worker(index, world),
+        )
+        mapping[index] = select_paradigm(ratio, threshold=threshold)
+    return mapping
+
+
+def _workload(
+    config: ModelConfig,
+    cluster: Cluster,
+    workload: Optional[IterationWorkload],
+    imbalance: float,
+    rng: Optional[np.random.Generator],
+) -> IterationWorkload:
+    if workload is not None:
+        return workload
+    return build_workload(config, cluster, imbalance=imbalance, rng=rng)
+
+
+def unified_engine(
+    config: ModelConfig,
+    cluster: Cluster,
+    features: Optional[JanusFeatures] = None,
+    workload: Optional[IterationWorkload] = None,
+    imbalance: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    check_memory: bool = True,
+    threshold: float = 1.0,
+) -> JanusEngine:
+    """Full Janus: per-block paradigm by R (see :func:`paradigm_map`)."""
+    return JanusEngine(
+        cluster,
+        _workload(config, cluster, workload, imbalance, rng),
+        paradigm_map(config, cluster, threshold=threshold),
+        features=features,
+        check_memory=check_memory,
+    )
+
+
+def _uniform_engine(
+    paradigm: Paradigm,
+    config: ModelConfig,
+    cluster: Cluster,
+    features: Optional[JanusFeatures],
+    workload: Optional[IterationWorkload],
+    imbalance: float,
+    rng: Optional[np.random.Generator],
+    check_memory: bool,
+) -> JanusEngine:
+    return JanusEngine(
+        cluster,
+        _workload(config, cluster, workload, imbalance, rng),
+        {index: paradigm for index in config.moe_block_indices},
+        features=features,
+        check_memory=check_memory,
+    )
+
+
+def expert_centric_engine(
+    config: ModelConfig,
+    cluster: Cluster,
+    features: Optional[JanusFeatures] = None,
+    workload: Optional[IterationWorkload] = None,
+    imbalance: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    check_memory: bool = True,
+) -> JanusEngine:
+    """Every MoE block over All-to-All (Tutel-equivalent baseline)."""
+    return _uniform_engine(
+        Paradigm.EXPERT_CENTRIC, config, cluster, features, workload,
+        imbalance, rng, check_memory,
+    )
+
+
+def data_centric_engine(
+    config: ModelConfig,
+    cluster: Cluster,
+    features: Optional[JanusFeatures] = None,
+    workload: Optional[IterationWorkload] = None,
+    imbalance: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    check_memory: bool = True,
+) -> JanusEngine:
+    """Every MoE block pulls experts (pure data-centric)."""
+    return _uniform_engine(
+        Paradigm.DATA_CENTRIC, config, cluster, features, workload,
+        imbalance, rng, check_memory,
+    )
+
+
+def engine_for(
+    mode: str,
+    config: ModelConfig,
+    cluster: Cluster,
+    **kwargs,
+) -> JanusEngine:
+    """Engine factory by mode name: "expert-centric", "data-centric",
+    or "unified"."""
+    factories = {
+        "expert-centric": expert_centric_engine,
+        "data-centric": data_centric_engine,
+        "unified": unified_engine,
+    }
+    if mode not in factories:
+        raise ValueError(
+            f"unknown mode {mode!r}; expected one of {sorted(factories)}"
+        )
+    return factories[mode](config, cluster, **kwargs)

@@ -1,0 +1,22 @@
+"""MoE transformer model zoo (functional layer)."""
+
+from .attention import MultiHeadAttention
+from .ffn import Expert, FeedForward
+from .gate import GateDecision, TopKGate
+from .moe_block import MoEBlock, MoELayer, dispatch_compute_combine
+from .transformer import MoETransformer, TransformerBlock
+from . import flops
+
+__all__ = [
+    "Expert",
+    "FeedForward",
+    "GateDecision",
+    "MoEBlock",
+    "MoELayer",
+    "MoETransformer",
+    "MultiHeadAttention",
+    "TopKGate",
+    "TransformerBlock",
+    "dispatch_compute_combine",
+    "flops",
+]

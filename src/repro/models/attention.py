@@ -1,0 +1,59 @@
+"""Multi-head self-attention."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensorlib import Linear, Module, Tensor
+from ..tensorlib import functional as F
+
+__all__ = ["MultiHeadAttention"]
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Input/output shape: (batch, seq, hidden).  ``causal=True`` applies a
+    lower-triangular mask (decoder models: MoE-GPT, MoE-Transformer-xl).
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        causal: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if hidden_dim % num_heads != 0:
+            raise ValueError("hidden_dim must be divisible by num_heads")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+        self.causal = causal
+        self.qkv = Linear(hidden_dim, 3 * hidden_dim, rng=rng)
+        self.out = Linear(hidden_dim, hidden_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, hidden = x.shape
+        if hidden != self.hidden_dim:
+            raise ValueError(
+                f"expected hidden dim {self.hidden_dim}, got {hidden}"
+            )
+        qkv = self.qkv(x)  # (B, S, 3H)
+        qkv = qkv.reshape(batch, seq, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, heads, S, head_dim)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.swapaxes(-1, -2)) * scale  # (B, heads, S, S)
+        mask = F.attention_scores_mask(seq, self.causal)
+        if self.causal:
+            scores = scores + Tensor(mask)
+        weights = F.softmax(scores, axis=-1)
+        context = weights @ v  # (B, heads, S, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, hidden)
+        return self.out(context)

@@ -1,0 +1,113 @@
+"""Reference (single-process) MoE expert layer and block.
+
+``MoELayer`` holds the *entire* expert layer locally and is the numerical
+ground truth: both distributed execution paradigms (expert-centric All-to-All
+and data-centric expert pulling) must reproduce its outputs and gradients
+exactly — the paper's equivalence claim (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..tensorlib import LayerNorm, Module, Tensor
+from .attention import MultiHeadAttention
+from .ffn import Expert
+from .gate import GateDecision, TopKGate
+
+__all__ = ["MoELayer", "MoEBlock", "dispatch_compute_combine"]
+
+
+def dispatch_compute_combine(
+    tokens: Tensor,
+    decision: GateDecision,
+    experts: List[Expert],
+) -> Tensor:
+    """Apply gated experts to a flat (N, H) token batch.
+
+    For every expert, gathers its assigned tokens, runs the expert FFN and
+    scatter-adds the gate-weighted result — the canonical MoE computation
+    both paradigms implement.
+    """
+    num_tokens = tokens.shape[0]
+    output: Optional[Tensor] = None
+    for expert_id, expert in enumerate(experts):
+        token_ids, slot_ids = decision.slots_for_expert(expert_id)
+        if token_ids.size == 0:
+            continue
+        gathered = tokens.gather_rows(token_ids)
+        expert_out = expert(gathered)
+        weights = decision.combine_weights[token_ids, slot_ids]
+        weighted = expert_out * weights.reshape(-1, 1)
+        contribution = Tensor.scatter_rows(num_tokens, token_ids, weighted)
+        output = contribution if output is None else output + contribution
+    if output is None:  # degenerate: no tokens at all
+        output = tokens * 0.0
+    return output
+
+
+class MoELayer(Module):
+    """Gate + full expert layer, all experts resident locally."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_experts: int,
+        top_k: int,
+        ffn_mult: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.hidden_dim = hidden_dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.gate = TopKGate(hidden_dim, num_experts, top_k, rng=rng)
+        self.experts = [
+            Expert(hidden_dim, mult=ffn_mult, rng=rng)
+            for _ in range(num_experts)
+        ]
+        for index, expert in enumerate(self.experts):
+            setattr(self, f"expert{index}", expert)
+        self.last_decision: Optional[GateDecision] = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x: (batch, seq, hidden) -> same shape."""
+        batch, seq, hidden = x.shape
+        flat = x.reshape(batch * seq, hidden)
+        decision = self.gate(flat)
+        self.last_decision = decision
+        mixed = dispatch_compute_combine(flat, decision, self.experts)
+        return mixed.reshape(batch, seq, hidden)
+
+
+class MoEBlock(Module):
+    """Pre-LN transformer block whose FFN is an MoE expert layer."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        num_experts: int,
+        top_k: int,
+        causal: bool = False,
+        ffn_mult: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.ln1 = LayerNorm(hidden_dim)
+        self.attention = MultiHeadAttention(
+            hidden_dim, num_heads, causal=causal, rng=rng
+        )
+        self.ln2 = LayerNorm(hidden_dim)
+        self.moe = MoELayer(
+            hidden_dim, num_experts, top_k, ffn_mult=ffn_mult, rng=rng
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.ln1(x))
+        x = x + self.moe(self.ln2(x))
+        return x

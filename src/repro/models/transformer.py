@@ -1,0 +1,113 @@
+"""Full transformer / MoE-transformer models."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..tensorlib import Embedding, LayerNorm, Linear, Module, Tensor
+from ..tensorlib import functional as F
+from .attention import MultiHeadAttention
+from .ffn import FeedForward
+from .moe_block import MoEBlock
+
+__all__ = ["TransformerBlock", "MoETransformer"]
+
+
+class TransformerBlock(Module):
+    """Pre-LN dense transformer block (attention + FFN)."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        causal: bool = False,
+        ffn_mult: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.ln1 = LayerNorm(hidden_dim)
+        self.attention = MultiHeadAttention(
+            hidden_dim, num_heads, causal=causal, rng=rng
+        )
+        self.ln2 = LayerNorm(hidden_dim)
+        self.ffn = FeedForward(hidden_dim, mult=ffn_mult, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attention(self.ln1(x))
+        x = x + self.ffn(self.ln2(x))
+        return x
+
+
+class MoETransformer(Module):
+    """A stack of dense and MoE blocks per a :class:`ModelConfig` layout.
+
+    This is the reference single-process model; the distributed runtime
+    shards its expert layers across workers.
+    """
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_dim, rng=rng)
+        self.position_embedding = Embedding(config.seq_len, config.hidden_dim, rng=rng)
+        self.blocks: List[Module] = []
+        for index in range(config.num_blocks):
+            if config.is_moe_block(index):
+                block = MoEBlock(
+                    config.hidden_dim,
+                    config.num_heads,
+                    config.num_experts(index),
+                    config.top_k,
+                    causal=config.causal,
+                    ffn_mult=config.ffn_mult,
+                    rng=rng,
+                )
+            else:
+                block = TransformerBlock(
+                    config.hidden_dim,
+                    config.num_heads,
+                    causal=config.causal,
+                    ffn_mult=config.ffn_mult,
+                    rng=rng,
+                )
+            self.blocks.append(block)
+            setattr(self, f"block{index}", block)
+        self.final_norm = LayerNorm(config.hidden_dim)
+        self.lm_head = Linear(
+            config.hidden_dim, config.vocab_size, bias=False, rng=rng
+        )
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """token_ids: (batch, seq) ints -> logits (batch, seq, vocab)."""
+        token_ids = np.asarray(token_ids)
+        batch, seq = token_ids.shape
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = self.token_embedding(token_ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.lm_head(x)
+
+    def loss(self, token_ids: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Cross-entropy next-token / masked-token loss plus gate aux loss."""
+        logits = self.forward(token_ids)
+        batch, seq, vocab = logits.shape
+        flat_logits = logits.reshape(batch * seq, vocab)
+        main = F.cross_entropy(flat_logits, np.asarray(targets).reshape(-1))
+        aux = self.gate_aux_loss()
+        return main + 0.01 * aux
+
+    def gate_aux_loss(self) -> Tensor:
+        total = Tensor(0.0)
+        for block in self.blocks:
+            if isinstance(block, MoEBlock) and block.moe.last_decision is not None:
+                total = total + block.moe.last_decision.aux_loss
+        return total
+
+    def moe_blocks(self) -> List[MoEBlock]:
+        return [b for b in self.blocks if isinstance(b, MoEBlock)]

@@ -1,0 +1,20 @@
+"""Flow-level network simulation over the cluster topology."""
+
+from .collectives import all_to_all, all_to_all_proc, uniform_matrix
+from .fabric import Fabric
+from .fluid import Flow, FluidNetwork
+from .goodput import GoodputResult, measure_all_to_all_goodput
+from .memory import MemoryTracker, OutOfMemoryError
+
+__all__ = [
+    "Fabric",
+    "Flow",
+    "FluidNetwork",
+    "GoodputResult",
+    "MemoryTracker",
+    "OutOfMemoryError",
+    "all_to_all",
+    "all_to_all_proc",
+    "measure_all_to_all_goodput",
+    "uniform_matrix",
+]

@@ -1,0 +1,139 @@
+"""Collective communication on the simulated fabric.
+
+The only collective MoE expert parallelism needs is All-to-All (token
+dispatch and combine).  It is *synchronous*: the operation completes when the
+busiest participant has sent and received everything (§3.1 of the paper) —
+modelled here by waiting on every constituent flow.
+
+Flows are decomposed hierarchically to keep the fluid solver fast while
+preserving where contention happens:
+
+* intra-machine traffic: one flow per (src GPU, dst GPU) pair over NVLink;
+* inter-machine traffic: per (src machine, dst machine) pair, the GPU-pair
+  bytes are aggregated and split across the machine's NICs (NCCL/Tutel
+  similarly aggregate cross-node All-to-All traffic per NIC channel).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..cluster import Device, LinkId
+from ..simkit import AllOf, Event
+from .fabric import Fabric
+
+__all__ = ["all_to_all", "all_to_all_proc", "uniform_matrix"]
+
+
+def uniform_matrix(world_size: int, bytes_per_pair: float) -> np.ndarray:
+    """Send matrix where every rank sends the same amount to every other."""
+    matrix = np.full((world_size, world_size), float(bytes_per_pair))
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def all_to_all(
+    fabric: Fabric,
+    send_bytes: Sequence[Sequence[float]],
+    hierarchical: bool = True,
+) -> Event:
+    """Start an All-to-All; returns an event triggered when it completes.
+
+    ``send_bytes[i][j]`` is the payload GPU of global rank ``i`` sends to
+    global rank ``j``.  The matrix must be ``world_size`` square.
+
+    ``hierarchical=True`` (default) models the optimized cross-node path
+    used by Tutel/NCCL channels: per machine pair, the GPU payloads are
+    aggregated and striped evenly over the machine's NICs.
+    ``hierarchical=False`` is the naive flat decomposition: every GPU pair
+    is its own cross-node flow pinned to the *source GPU's* NIC, so NIC
+    load follows the (generally uneven) per-GPU send pattern and small
+    per-pair messages pay per-flow latency — the behaviour hierarchical
+    All-to-All papers (Tutel, SE-MoE) optimize away.
+    """
+    cluster = fabric.cluster
+    matrix = np.asarray(send_bytes, dtype=float)
+    world = cluster.world_size
+    if matrix.shape != (world, world):
+        raise ValueError(
+            f"send matrix must be {world}x{world}, got {matrix.shape}"
+        )
+    if (matrix < 0).any():
+        raise ValueError("send matrix entries must be non-negative")
+
+    done_events: List[Event] = []
+
+    # Intra-machine flows: GPU pair granularity over NVLink.
+    for machine in range(cluster.num_machines):
+        base = machine * cluster.gpus_per_machine
+        for src_local in range(cluster.gpus_per_machine):
+            for dst_local in range(cluster.gpus_per_machine):
+                if src_local == dst_local:
+                    continue
+                size = matrix[base + src_local, base + dst_local]
+                if size <= 0:
+                    continue
+                flow = fabric.transfer(
+                    Device.gpu(machine, src_local),
+                    Device.gpu(machine, dst_local),
+                    size,
+                    tag=("a2a-intra", machine, src_local, dst_local),
+                )
+                done_events.append(flow.done)
+
+    if hierarchical:
+        # Inter-machine flows: aggregate per machine pair, stripe over NICs.
+        num_nics = cluster.spec.num_nics
+        for src_machine in range(cluster.num_machines):
+            for dst_machine in range(cluster.num_machines):
+                if src_machine == dst_machine:
+                    continue
+                src_base = src_machine * cluster.gpus_per_machine
+                dst_base = dst_machine * cluster.gpus_per_machine
+                total = matrix[
+                    src_base : src_base + cluster.gpus_per_machine,
+                    dst_base : dst_base + cluster.gpus_per_machine,
+                ].sum()
+                if total <= 0:
+                    continue
+                per_nic = total / num_nics
+                for nic in range(num_nics):
+                    path = (
+                        LinkId("nic", src_machine, nic, "out"),
+                        LinkId("nic", dst_machine, nic, "in"),
+                    )
+                    flow = fabric.network.transfer(
+                        path,
+                        per_nic,
+                        latency=fabric.path_latency(path),
+                        tag=("a2a-inter", src_machine, dst_machine, nic),
+                    )
+                    done_events.append(flow.done)
+    else:
+        # Naive flat decomposition: one flow per cross-machine GPU pair,
+        # each pinned to the NIC of its source GPU.
+        for src_rank in range(world):
+            src = cluster.gpu_device(src_rank)
+            for dst_rank in range(world):
+                dst = cluster.gpu_device(dst_rank)
+                if src.machine == dst.machine:
+                    continue
+                size = matrix[src_rank, dst_rank]
+                if size <= 0:
+                    continue
+                flow = fabric.transfer(
+                    src, dst, size,
+                    tag=("a2a-flat", src_rank, dst_rank),
+                )
+                done_events.append(flow.done)
+
+    return AllOf(fabric.env, done_events)
+
+
+def all_to_all_proc(fabric: Fabric, send_bytes: Sequence[Sequence[float]]):
+    """Process form: ``yield env.process(all_to_all_proc(...))``."""
+    start = fabric.env.now
+    yield all_to_all(fabric, send_bytes)
+    return fabric.env.now - start

@@ -1,0 +1,96 @@
+"""Binds a static :class:`~repro.cluster.Cluster` to live simulation state.
+
+A :class:`Fabric` owns:
+
+* one :class:`~repro.netsim.fluid.FluidNetwork` with a bandwidth server per
+  directed link of the cluster, and
+* one serial compute stream per GPU (kernels on a stream execute in order;
+  DMA/copy engines are separate, which is what allows computation and
+  communication to overlap — the fact Janus's fine-grained scheduling
+  exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..cluster import Cluster, Device, LinkId
+from ..simkit import Environment, Resource
+from .fluid import Flow, FluidNetwork
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Live simulation resources for one cluster."""
+
+    def __init__(self, env: Environment, cluster: Cluster):
+        self.env = env
+        self.cluster = cluster
+        self.network = FluidNetwork(env)
+        self._latency: Dict[LinkId, float] = {}
+        for link_id, bandwidth, latency in cluster.iter_links():
+            self.network.add_link(link_id, bandwidth)
+            self._latency[link_id] = latency
+        self.compute_streams: Dict[Device, Resource] = {
+            gpu: Resource(env, capacity=1) for gpu in cluster.gpus()
+        }
+
+    # -- communication -------------------------------------------------------
+
+    def path_latency(self, path: Iterable[LinkId]) -> float:
+        return sum(self._latency[link_id] for link_id in path)
+
+    def transfer(
+        self,
+        src: Device,
+        dst: Device,
+        size: float,
+        nic_index: Optional[int] = None,
+        tag=None,
+    ) -> Flow:
+        """Start a point-to-point transfer; wait on ``.done``."""
+        path = self.cluster.route(src, dst, nic_index=nic_index)
+        return self.network.transfer(
+            path, size, latency=self.path_latency(path), tag=tag
+        )
+
+    def transfer_proc(self, src: Device, dst: Device, size: float, **kwargs):
+        """Process form of :meth:`transfer` (``yield env.process(...)``)."""
+        flow = self.transfer(src, dst, size, **kwargs)
+        yield flow.done
+        return flow
+
+    # -- computation ----------------------------------------------------------
+
+    def compute(self, gpu: Device, seconds: float):
+        """Occupy ``gpu``'s compute stream for ``seconds`` (a process)."""
+        if gpu.kind != "gpu":
+            raise ValueError(f"compute target must be a GPU, got {gpu}")
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        stream = self.compute_streams[gpu]
+        with stream.request() as slot:
+            yield slot
+            yield self.env.timeout(seconds)
+
+    def flops_time(self, flops: float) -> float:
+        """Seconds a GPU needs for ``flops`` floating point operations."""
+        return flops / self.cluster.spec.gpu.flops
+
+    # -- accounting -----------------------------------------------------------
+
+    def nic_bytes(self, machine: int, direction: str = "out") -> float:
+        """Total bytes through all of a machine's NICs in one direction."""
+        total = 0.0
+        for nic in range(self.cluster.spec.num_nics):
+            link_id = LinkId("nic", machine, nic, direction)
+            total += self.network.link_bytes[link_id]
+        return total
+
+    def total_cross_machine_bytes(self) -> float:
+        """Sum of NIC egress bytes across all machines."""
+        return sum(
+            self.nic_bytes(machine, "out")
+            for machine in range(self.cluster.num_machines)
+        )

@@ -1,0 +1,119 @@
+"""Data-centric (expert-pulling) execution of an MoE layer.
+
+The paper's proposed dataflow (§3.2, Fig. 2b): tokens stay on their home
+workers; expert weights are pulled to where the tokens are.  Pulls are
+deduplicated per machine by the Cache Manager (hierarchical communication,
+§5.1.2), and expert gradients are pre-reduced per machine before being
+pushed back to the expert's home worker.
+
+Functionally this module is the ground-truth emulation: each machine imports
+a *copy* of every non-resident expert's weights (a replica module), computes
+on it, and at the end of the backward pass ships the replica's accumulated
+gradients home — exactly the physical data movement of Janus, so tests can
+assert byte-for-byte traffic and value-for-value equivalence against the
+expert-centric executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..models import Expert
+from ..tensorlib import Tensor
+from .executor import MoEExecutor
+
+__all__ = ["DataCentricMoE"]
+
+
+class DataCentricMoE(MoEExecutor):
+    """Pull-based expert movement with per-machine caching."""
+
+    def run(self, worker_tokens: List[Tensor]) -> List[Tensor]:
+        decisions = self._route_all(worker_tokens)
+        self._backward_done = False
+        # (machine, expert) -> module used by that machine this iteration.
+        self._machine_experts: Dict[Tuple[int, int], Expert] = {}
+        # (machine, expert) replicas that must ship gradients home; maps to
+        # the rank that performed the cross-machine (or NVLink) pull.
+        self._replicas: Dict[Tuple[int, int], Expert] = {}
+        # Per-machine record of which worker pulled each expert first (the
+        # cache-fill), for traffic attribution.
+        self._fetched_by: Dict[Tuple[int, int], int] = {}
+
+        outputs: List[Tensor] = []
+        for rank, (tokens, decision) in enumerate(zip(worker_tokens, decisions)):
+            num_tokens = tokens.shape[0]
+            output = None
+            for expert_id in range(self.num_experts):
+                token_ids, slot_ids = decision.slots_for_expert(expert_id)
+                if token_ids.size == 0:
+                    continue
+                expert = self._fetch(expert_id, rank)
+                expert_out = expert(tokens.gather_rows(token_ids))
+                contribution = self._weighted_scatter(
+                    num_tokens, token_ids, slot_ids, expert_out, decision
+                )
+                output = contribution if output is None else output + contribution
+            outputs.append(output if output is not None else tokens * 0.0)
+        return outputs
+
+    def _fetch(self, expert_id: int, rank: int) -> Expert:
+        """Return the expert module worker ``rank`` computes with,
+        recording the pull traffic the fetch would generate."""
+        owner = self.placement.owner(expert_id)
+        if owner == rank:
+            # Resident expert: no movement, compute on the canonical module.
+            return self.experts[expert_id]
+
+        machine = self.layout.machine_of(rank)
+        key = (machine, expert_id)
+        cached = key in self._machine_experts
+        if not cached:
+            if self.layout.machine_of(owner) == machine:
+                # Intra-machine: pull weights over NVLink from the owner GPU.
+                self.comm_log.record(
+                    "expert_pull", owner, rank, self.expert_bytes
+                )
+            else:
+                # Cross-machine: the Inter-Node Scheduler pulls the expert
+                # once into the machine's Cache Manager (§5.1.2).
+                self.comm_log.record(
+                    "expert_pull", owner, rank, self.expert_bytes
+                )
+            replica = Expert(self.hidden_dim, mult=self.ffn_mult)
+            replica.import_weights(self.experts[expert_id].export_weights())
+            self._machine_experts[key] = replica
+            self._replicas[key] = replica
+            self._fetched_by[key] = rank
+        elif self._fetched_by[key] != rank:
+            # Cache hit by another worker of the same machine: the expert is
+            # served from the machine cache (CPU memory via PCIe or a peer
+            # GPU via NVLink) — intra-machine traffic only.
+            peer = self._fetched_by[key]
+            self.comm_log.record("expert_pull", peer, rank, self.expert_bytes)
+            self._fetched_by[key] = rank  # only charge the copy once per worker
+        return self._machine_experts[key]
+
+    def finish_backward(self) -> None:
+        """Ship pre-reduced expert gradients back to their home workers.
+
+        Each machine accumulated the gradients of all its workers in one
+        replica per expert (the pre-reduction of §5.1.2), so exactly one
+        gradient payload per (machine, pulled expert) travels home.
+        """
+        if getattr(self, "_backward_done", True):
+            raise RuntimeError("finish_backward() must follow exactly one run()")
+        self._backward_done = True
+        for (machine, expert_id), replica in self._replicas.items():
+            owner = self.placement.owner(expert_id)
+            sender = self._fetched_by[(machine, expert_id)]
+            self.comm_log.record(
+                "grad_push", sender, owner, self.expert_bytes
+            )
+            self.experts[expert_id].apply_gradients(replica.collect_gradients())
+
+    # -- introspection ------------------------------------------------------------
+
+    def pulled_expert_count(self) -> int:
+        """Distinct (machine, expert) pulls in the last iteration."""
+        return len(self._replicas)

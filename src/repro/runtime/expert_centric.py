@@ -1,0 +1,106 @@
+"""Expert-centric (All-to-All) execution of an MoE layer.
+
+The classic expert-parallel dataflow (paper §2.2, Fig. 2a): experts stay on
+their home workers; tokens are shipped to them with an All-to-All, computed,
+and shipped back with a second All-to-All.  The backward pass moves the same
+volumes in mirror directions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..tensorlib import Tensor
+from .executor import MoEExecutor
+
+__all__ = ["ExpertCentricMoE"]
+
+
+class ExpertCentricMoE(MoEExecutor):
+    """All-to-All token exchange; experts never move."""
+
+    def run(self, worker_tokens: List[Tensor]) -> List[Tensor]:
+        decisions = self._route_all(worker_tokens)
+        self._run_start_index = len(self.comm_log.records)
+        self._backward_done = False
+        world = self.layout.world_size
+        outputs: List[Tensor] = [None] * world
+
+        # Phase 1+2+3 fused per expert: gather every worker's tokens for the
+        # expert (All-to-All dispatch), run the canonical expert once on the
+        # concatenated batch (exactly what the owner GPU does), then return
+        # and combine each slice (All-to-All combine).
+        for expert_id, expert in enumerate(self.experts):
+            owner = self.placement.owner(expert_id)
+            pieces = []
+            meta = []
+            for rank, (tokens, decision) in enumerate(
+                zip(worker_tokens, decisions)
+            ):
+                token_ids, slot_ids = decision.slots_for_expert(expert_id)
+                if token_ids.size == 0:
+                    continue
+                if rank != owner:
+                    self.comm_log.record(
+                        "dispatch", rank, owner,
+                        token_ids.size * self.token_bytes,
+                    )
+                pieces.append(tokens.gather_rows(token_ids))
+                meta.append((rank, token_ids, slot_ids))
+            if not pieces:
+                continue
+            batch = Tensor.concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+            expert_out = expert(batch)
+            offset = 0
+            for rank, token_ids, slot_ids in meta:
+                count = token_ids.size
+                piece = expert_out[offset: offset + count]
+                offset += count
+                if rank != owner:
+                    self.comm_log.record(
+                        "combine", owner, rank, count * self.token_bytes
+                    )
+                contribution = self._weighted_scatter(
+                    worker_tokens[rank].shape[0],
+                    token_ids,
+                    slot_ids,
+                    piece,
+                    decisions[rank],
+                )
+                if outputs[rank] is None:
+                    outputs[rank] = contribution
+                else:
+                    outputs[rank] = outputs[rank] + contribution
+
+        for rank, tokens in enumerate(worker_tokens):
+            if outputs[rank] is None:
+                outputs[rank] = tokens * 0.0
+        return outputs
+
+    def finish_backward(self) -> None:
+        """Record the backward All-to-Alls.
+
+        Autograd already moved the numbers (the whole emulation shares one
+        graph); what the physical system would move is the mirror of the
+        forward traffic: output-gradients travel the combine route in
+        reverse and token-gradients travel the dispatch route in reverse.
+        """
+        if getattr(self, "_backward_done", True):
+            raise RuntimeError("finish_backward() must follow exactly one run()")
+        self._backward_done = True
+        forward = [
+            record
+            for record in self.comm_log.records[self._run_start_index:]
+            if record.kind in ("dispatch", "combine")
+        ]
+        for record in forward:
+            if record.kind == "combine":
+                self.comm_log.record(
+                    "dispatch_grad", record.dst_rank, record.src_rank,
+                    record.num_bytes,
+                )
+            else:
+                self.comm_log.record(
+                    "combine_grad", record.dst_rank, record.src_rank,
+                    record.num_bytes,
+                )

@@ -1,0 +1,41 @@
+"""Minimal process-based discrete-event simulation kernel (SimPy-style)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import (
+    Container,
+    PriorityRequest,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityRequest",
+    "PriorityResource",
+    "Process",
+    "Release",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

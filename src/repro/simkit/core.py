@@ -1,0 +1,375 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free process-based discrete-event engine in the style of
+SimPy.  Processes are Python generators that ``yield`` events; the
+:class:`Environment` advances simulated time and resumes processes when the
+events they wait on are triggered.
+
+The kernel is deterministic: events scheduled at the same simulated time are
+processed in insertion order (a monotonically increasing sequence number
+breaks ties in the event heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for malformed use of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """An event that may be triggered once with a value or an exception.
+
+    Processes wait on events by yielding them.  Callbacks registered through
+    :attr:`callbacks` run when the event is processed by the environment.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled for processing."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value is not yet available")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def _process_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self._defused:
+            raise self._exception
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """Wraps a generator; the process itself is an event that triggers when
+    the generator returns (with its return value) or raises."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._value = None
+        event._exception = Interrupt(cause)
+        event._defused = True
+        # Detach from the old target so its trigger no longer resumes us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        event.callbacks = [self._resume]
+        self.env._schedule(event, priority=0)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._exception is not None:
+                    event._defused = True
+                    target = self._generator.throw(event._exception)
+                else:
+                    target = self._generator.send(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(getattr(stop, "value", None))
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                raise SimulationError(
+                    f"process yielded a non-event: {target!r}"
+                )
+            if target.processed:
+                # Already settled: resume immediately with its outcome.
+                event = target
+                continue
+            self._target = target
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+            break
+        self.env._active_process = None
+
+
+class Condition(Event):
+    """Waits on a set of events until ``evaluate`` says the condition holds.
+
+    The value of a condition is a dict mapping each triggered constituent
+    event to its value, in trigger order.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[int, int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        # Only events that actually fired (callbacks processed) belong in
+        # the condition's value: a Timeout carries its value from creation
+        # but has not "happened" until the clock reaches it.
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._exception is None
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if event._exception is not None:
+            event._defused = True
+            self.fail(event._exception)
+        elif self._evaluate(len(self._events), self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Triggered when all constituent events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done == total, events)
+
+
+class AnyOf(Condition):
+    """Triggered when any constituent event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda total, done: done >= 1, events)
+
+
+class Environment:
+    """Coordinates event scheduling and process execution."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._eid += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._eid, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        time, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = time
+        event._process_callbacks()
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        Returns the value of ``until`` when it is an event.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if stop_time is not None and self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError(
+                "run() finished but the awaited event never triggered"
+            )
+        if stop_time is not None:
+            self._now = stop_time
+        return None

@@ -1,0 +1,26 @@
+"""Numpy-backed reverse-mode autograd engine and nn building blocks."""
+
+from . import functional
+from .module import Embedding, LayerNorm, Linear, Module, Parameter, Sequential
+from .optim import Adam, Optimizer, SGD
+from .serialization import CheckpointError, load_checkpoint, save_checkpoint
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "CheckpointError",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "load_checkpoint",
+    "save_checkpoint",
+    "functional",
+    "is_grad_enabled",
+    "no_grad",
+]

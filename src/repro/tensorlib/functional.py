@@ -1,0 +1,69 @@
+"""Composite neural-network functions built on the Tensor ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "layer_norm",
+    "linear",
+    "attention_scores_mask",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log likelihood of integer ``targets``.
+
+    ``logits`` has shape (N, classes); ``targets`` shape (N,).
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects 2-d logits")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError("targets must be 1-d and match logits rows")
+    log_probs = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    picked = log_probs[rows, targets]
+    return -picked.mean()
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered * (var + eps) ** -0.5
+    return normalized * weight + bias
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor = None) -> Tensor:
+    """Affine map ``x @ weight + bias`` with weight shape (in, out)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def attention_scores_mask(seq_len: int, causal: bool) -> np.ndarray:
+    """Additive attention mask: 0 where allowed, -1e9 where masked."""
+    if not causal:
+        return np.zeros((seq_len, seq_len))
+    mask = np.triu(np.ones((seq_len, seq_len)), k=1) * -1e9
+    return mask

@@ -1,0 +1,103 @@
+"""Optimizers over tensorlib parameters."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.  Parameters without gradients are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    params = [p for p in parameters if p.grad is not None]
+    total = float(
+        np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    )
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total
+
+
+class Optimizer:
+    def __init__(self, parameters: Iterable[Tensor]):
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data = param.data - self.lr * update
+
+
+class Adam(Optimizer):
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1 - self.beta1**self._step
+        bias2 = 1 - self.beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            m *= self.beta1
+            m += (1 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * param.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

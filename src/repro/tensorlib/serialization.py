@@ -1,0 +1,127 @@
+"""Checkpoint serialization for modules and optimizers.
+
+Checkpoints are plain ``.npz`` archives: one array per parameter keyed by
+its dotted name, plus optimizer slots under an ``__opt__`` prefix when an
+optimizer is included.  A small JSON header records versioning so stale
+checkpoints fail loudly instead of loading garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .module import Module
+from .optim import Adam, Optimizer, SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CheckpointError"]
+
+_FORMAT_VERSION = 1
+_HEADER_KEY = "__checkpoint_header__"
+_OPT_PREFIX = "__opt__"
+
+
+class CheckpointError(RuntimeError):
+    """Raised for malformed or incompatible checkpoint files."""
+
+
+def _optimizer_state(optimizer: Optimizer) -> dict:
+    state = {}
+    if isinstance(optimizer, Adam):
+        state[f"{_OPT_PREFIX}kind"] = np.array("adam")
+        state[f"{_OPT_PREFIX}step"] = np.array(optimizer._step)
+        for index, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+            state[f"{_OPT_PREFIX}m.{index}"] = m
+            state[f"{_OPT_PREFIX}v.{index}"] = v
+    elif isinstance(optimizer, SGD):
+        state[f"{_OPT_PREFIX}kind"] = np.array("sgd")
+        for index, velocity in enumerate(optimizer._velocity):
+            state[f"{_OPT_PREFIX}velocity.{index}"] = velocity
+    else:
+        raise CheckpointError(
+            f"cannot serialize optimizer type {type(optimizer).__name__}"
+        )
+    return state
+
+
+def _restore_optimizer(optimizer: Optimizer, archive) -> None:
+    kind = str(archive[f"{_OPT_PREFIX}kind"])
+    if isinstance(optimizer, Adam):
+        if kind != "adam":
+            raise CheckpointError(
+                f"checkpoint holds {kind!r} state, optimizer is Adam"
+            )
+        optimizer._step = int(archive[f"{_OPT_PREFIX}step"])
+        for index in range(len(optimizer.parameters)):
+            optimizer._m[index][...] = archive[f"{_OPT_PREFIX}m.{index}"]
+            optimizer._v[index][...] = archive[f"{_OPT_PREFIX}v.{index}"]
+    elif isinstance(optimizer, SGD):
+        if kind != "sgd":
+            raise CheckpointError(
+                f"checkpoint holds {kind!r} state, optimizer is SGD"
+            )
+        for index in range(len(optimizer.parameters)):
+            optimizer._velocity[index][...] = archive[
+                f"{_OPT_PREFIX}velocity.{index}"
+            ]
+    else:
+        raise CheckpointError(
+            f"cannot restore optimizer type {type(optimizer).__name__}"
+        )
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    module: Module,
+    optimizer: Optional[Optimizer] = None,
+    metadata: Optional[dict] = None,
+) -> None:
+    """Write module (and optionally optimizer) state to ``path`` (.npz)."""
+    arrays = dict(module.state_dict())
+    header = {
+        "version": _FORMAT_VERSION,
+        "has_optimizer": optimizer is not None,
+        "metadata": metadata or {},
+    }
+    arrays[_HEADER_KEY] = np.array(json.dumps(header))
+    if optimizer is not None:
+        arrays.update(_optimizer_state(optimizer))
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    module: Module,
+    optimizer: Optional[Optimizer] = None,
+) -> dict:
+    """Restore module (and optionally optimizer) state from ``path``.
+
+    Returns the metadata dict stored alongside the checkpoint.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        if _HEADER_KEY not in archive:
+            raise CheckpointError(f"{path} is not a repro checkpoint")
+        header = json.loads(str(archive[_HEADER_KEY]))
+        if header.get("version") != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {header.get('version')}"
+            )
+        state = {
+            key: archive[key]
+            for key in archive.files
+            if key != _HEADER_KEY and not key.startswith(_OPT_PREFIX)
+        }
+        module.load_state_dict(state)
+        if optimizer is not None:
+            if not header["has_optimizer"]:
+                raise CheckpointError(
+                    "checkpoint has no optimizer state to restore"
+                )
+            _restore_optimizer(optimizer, archive)
+        return header["metadata"]

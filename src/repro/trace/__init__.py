@@ -1,0 +1,6 @@
+"""Span tracing and timeline rendering for simulated iterations."""
+
+from .spans import Span, TraceRecorder
+from .timeline import render_block_gantt, render_timeline
+
+__all__ = ["Span", "TraceRecorder", "render_block_gantt", "render_timeline"]

@@ -1,0 +1,113 @@
+"""Span tracing for simulated iterations.
+
+The timed engines record what happened when (compute spans, communication
+spans, per-expert pull completions, block completions).  The evaluation
+figures are all derived from these traces: Fig. 3 (All-to-All share of an
+iteration), Fig. 13 (block completion vs expert arrival timeline and the
+computation-communication overlap), and the speedup figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed activity in the simulation."""
+
+    kind: str              # e.g. "compute.dense", "comm.all_to_all", "comm.pull"
+    start: float
+    end: float
+    worker: Optional[int] = None     # global rank, if worker-specific
+    block: Optional[int] = None      # model block index, if block-specific
+    detail: Optional[str] = None     # free-form (e.g. "expert=7", "phase=fwd")
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"span ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects spans and point events for one simulated run."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.events: List[Dict] = []
+
+    def record(
+        self,
+        kind: str,
+        start: float,
+        end: float,
+        worker: Optional[int] = None,
+        block: Optional[int] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        self.spans.append(Span(kind, start, end, worker, block, detail))
+
+    def mark(self, name: str, time: float, **attrs) -> None:
+        """Record a point event (e.g. expert arrival, block completion)."""
+        event = {"name": name, "time": time}
+        event.update(attrs)
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def spans_of(self, kind_prefix: str) -> List[Span]:
+        return [span for span in self.spans if span.kind.startswith(kind_prefix)]
+
+    def total_time(self, kind_prefix: str) -> float:
+        """Sum of span durations (may double-count overlapping spans)."""
+        return sum(span.duration for span in self.spans_of(kind_prefix))
+
+    def busy_time(self, kind_prefix: str) -> float:
+        """Union length of the matching spans' time intervals."""
+        intervals = sorted(
+            (span.start, span.end) for span in self.spans_of(kind_prefix)
+        )
+        busy = 0.0
+        current_start: Optional[float] = None
+        current_end = 0.0
+        for start, end in intervals:
+            if current_start is None or start > current_end:
+                if current_start is not None:
+                    busy += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        if current_start is not None:
+            busy += current_end - current_start
+        return busy
+
+    def events_of(self, name: str) -> List[Dict]:
+        return [event for event in self.events if event["name"] == name]
+
+    def block_completions(self, worker: Optional[int] = None) -> Dict[int, float]:
+        """block index -> completion time (forward), optionally per worker."""
+        completions: Dict[int, float] = {}
+        for event in self.events_of("block_complete"):
+            if worker is not None and event.get("worker") != worker:
+                continue
+            block = event["block"]
+            completions[block] = max(completions.get(block, 0.0), event["time"])
+        return completions
+
+    def expert_arrivals(self, worker: Optional[int] = None) -> List[Dict]:
+        """Expert pull completions (Fig. 13's lower sub-figure)."""
+        return [
+            event
+            for event in self.events_of("expert_ready")
+            if worker is None or event.get("worker") == worker
+        ]

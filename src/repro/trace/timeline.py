@@ -1,0 +1,102 @@
+"""ASCII timeline rendering of simulation traces.
+
+Turns a :class:`~repro.trace.spans.TraceRecorder` into the kind of picture
+the paper's Fig. 13 shows: lanes of compute/communication activity over
+simulated time, plus point events (expert arrivals, block completions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .spans import TraceRecorder
+
+__all__ = ["render_timeline", "render_block_gantt"]
+
+_LANE_GLYPHS = {
+    "compute.dense": "D",
+    "compute.expert": "E",
+    "comm.a2a": "A",
+    "comm.pull": "P",
+}
+
+
+def _scale(time: float, span_end: float, width: int) -> int:
+    if span_end <= 0:
+        return 0
+    return min(width - 1, int(time / span_end * width))
+
+
+def render_timeline(
+    trace: TraceRecorder,
+    lanes: Optional[Sequence[str]] = None,
+    width: int = 80,
+    worker: Optional[int] = 0,
+    end_time: Optional[float] = None,
+) -> str:
+    """Render one character row per span-kind lane.
+
+    Each lane draws its spans as filled glyphs over a ``width``-column
+    time axis; point events from ``mark`` render as ``*`` on an events
+    lane.  ``worker`` filters worker-attributed spans/events (None = all).
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 columns")
+    lanes = list(lanes) if lanes is not None else list(_LANE_GLYPHS)
+    spans = [
+        span
+        for span in trace.spans
+        if worker is None or span.worker in (None, worker)
+    ]
+    events = [
+        event
+        for event in trace.events
+        if worker is None or event.get("worker") in (None, worker)
+    ]
+    horizon = end_time
+    if horizon is None:
+        ends = [span.end for span in spans] + [e["time"] for e in events]
+        horizon = max(ends) if ends else 1.0
+
+    lines: List[str] = []
+    label_width = max((len(lane) for lane in lanes), default=0)
+    label_width = max(label_width, len("events"))
+    for lane in lanes:
+        glyph = _LANE_GLYPHS.get(lane, "#")
+        row = [" "] * width
+        for span in spans:
+            if not span.kind.startswith(lane):
+                continue
+            start = _scale(span.start, horizon, width)
+            stop = max(start + 1, _scale(span.end, horizon, width) + 1)
+            for column in range(start, min(stop, width)):
+                row[column] = glyph
+        lines.append(f"{lane.ljust(label_width)} |{''.join(row)}|")
+
+    event_row = [" "] * width
+    for event in events:
+        event_row[_scale(event["time"], horizon, width)] = "*"
+    lines.append(f"{'events'.ljust(label_width)} |{''.join(event_row)}|")
+    lines.append(
+        f"{''.ljust(label_width)}  0{'':{width - 10}}{horizon * 1e3:8.2f}ms"
+    )
+    return "\n".join(lines)
+
+
+def render_block_gantt(
+    trace: TraceRecorder, worker: int = 0, width: int = 60
+) -> str:
+    """One bar per model block: when its forward compute finished."""
+    completions = trace.block_completions(worker=worker)
+    if not completions:
+        return "(no block completions recorded)"
+    horizon = max(completions.values())
+    lines = []
+    for block in sorted(completions):
+        filled = _scale(completions[block], horizon, width) + 1
+        bar = "=" * filled
+        lines.append(
+            f"block {block:3d} |{bar.ljust(width)}| "
+            f"{completions[block] * 1e3:8.2f} ms"
+        )
+    return "\n".join(lines)

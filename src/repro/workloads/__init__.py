@@ -1,0 +1,21 @@
+"""Synthetic workloads: token batches, corpora and routing distributions."""
+
+from .corpus import SyntheticCorpus
+from .tokens import (
+    assignment_imbalance,
+    balanced_assignment,
+    target_batches,
+    token_batches,
+    zipf_assignment,
+    zipf_weights,
+)
+
+__all__ = [
+    "SyntheticCorpus",
+    "assignment_imbalance",
+    "balanced_assignment",
+    "target_batches",
+    "token_batches",
+    "zipf_assignment",
+    "zipf_weights",
+]

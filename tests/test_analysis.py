@@ -1,0 +1,68 @@
+"""Tests for the analysis layer: Table 1 traffic rows and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    format_speedup_bars,
+    format_table,
+    model_size_billion,
+    table1,
+    table1_row,
+)
+from repro.config import TABLE1_MODELS, moe_bert, moe_transformer_xl
+
+
+class TestTable1Rows:
+    def test_row_fields(self):
+        row = table1_row(moe_bert(32), num_machines=4)
+        assert row.model == "MoE-BERT"
+        assert row.num_gpus == 32
+        assert row.num_experts == 32
+        assert row.expert_centric_gib > row.data_centric_gib
+        assert row.reduction > 1
+
+    def test_reduction_equals_r_for_single_expert_layers(self):
+        """For E=1 blocks the EC/DC traffic ratio is exactly R."""
+        row = table1_row(moe_transformer_xl(32), num_machines=4)
+        assert row.reduction == pytest.approx(16.0)
+
+    def test_full_table_has_six_rows(self):
+        rows = table1(TABLE1_MODELS)
+        assert len(rows) == 6
+        assert {row.model for row in rows} == set(TABLE1_MODELS)
+
+    def test_model_size_tracks_expert_count(self):
+        small = model_size_billion(moe_bert(16), 16)
+        large = model_size_billion(moe_bert(32), 32)
+        assert large > small
+        # Table 1: 0.42B and 0.73B.
+        assert small == pytest.approx(0.42, rel=0.2)
+        assert large == pytest.approx(0.73, rel=0.2)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # All data lines are equally wide (aligned columns).
+        assert len(lines[3].rstrip()) <= len(lines[1]) + 6
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_speedup_bars_scale_to_peak(self):
+        text = format_speedup_bars(["x", "y"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_speedup_bars_validation(self):
+        with pytest.raises(ValueError):
+            format_speedup_bars(["x"], [1.0, 2.0])

@@ -1,0 +1,47 @@
+"""Tests for the R-grid sweep and heatmap rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import r_grid, render_r_heatmap
+from repro.core import gain_ratio
+
+
+class TestRGrid:
+    def test_grid_matches_pointwise_formula(self):
+        batches = [32, 64]
+        seqs = [128, 512]
+        grid = r_grid(batches, seqs, top_k=2, num_machines=4,
+                      hidden_dim=256, experts_per_worker=1)
+        assert grid.shape == (2, 2)
+        for i, batch in enumerate(batches):
+            for j, seq in enumerate(seqs):
+                assert grid[i, j] == pytest.approx(
+                    gain_ratio(batch, seq, 2, 4, 256, 1)
+                )
+
+    def test_grid_monotone_in_both_axes(self):
+        grid = r_grid([16, 32, 64], [64, 128, 256], 2, 4, 512, 1)
+        assert (np.diff(grid, axis=0) > 0).all()
+        assert (np.diff(grid, axis=1) > 0).all()
+
+
+class TestHeatmap:
+    def test_marks_expert_centric_region(self):
+        batches = [1, 512]
+        seqs = [8, 2048]
+        grid = r_grid(batches, seqs, 1, 4, 4096, 4)
+        text = render_r_heatmap(grid, batches, seqs)
+        assert "e" in text
+        # The big-batch/long-seq corner should be data-centric (numeric).
+        assert grid[1, 1] > 1
+
+    def test_heatmap_shape_validated(self):
+        with pytest.raises(ValueError):
+            render_r_heatmap(np.zeros((2, 2)), [1], [1, 2])
+
+    def test_header_contains_axes(self):
+        grid = r_grid([64], [128], 2, 4, 256, 1)
+        text = render_r_heatmap(grid, [64], [128])
+        assert "128" in text
+        assert "64" in text

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "moe-gpt"
+        assert args.experts == 32
+        assert args.machines == 4
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--model", "moe-llama"])
+
+    def test_simulate_paradigm_choices(self):
+        args = build_parser().parse_args(
+            ["simulate", "--paradigm", "expert-centric"]
+        )
+        assert args.paradigm == "expert-centric"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--paradigm", "magic"])
+
+
+class TestCommands:
+    def test_plan_prints_r_and_memory(self, capsys):
+        assert main(["plan", "--model", "moe-gpt"]) == 0
+        out = capsys.readouterr().out
+        assert "5.33" in out
+        assert "data-centric" in out
+        assert "memory" in out
+
+    def test_plan_with_overrides(self, capsys):
+        assert main([
+            "plan", "--model", "moe-bert", "--batch-size", "64",
+            "--seq-len", "256", "--top-k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "B=64 S=256 k=4" in out
+
+    def test_plan_pr_moe_mixes_paradigms(self, capsys):
+        assert main(["plan", "--model", "pr-moe", "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "data-centric" in out
+
+    def test_table1_matches_paper_numbers(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "9.00" in out      # E.C. BERT/Txl at 32 experts
+        assert "1.69" in out      # D.C. BERT at 32 experts
+        assert "16.0x" in out     # the headline reduction
+
+    def test_goodput_reports_gap(self, capsys):
+        assert main(["goodput", "--machines", "2", "--payload", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-machine" in out
+        assert "gap:" in out
+
+    def test_simulate_small_cluster(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "expert-centric",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ms per training iteration" in out
+        assert "All-to-All" in out
+
+    def test_simulate_inference_flag(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--inference",
+        ]) == 0
+        assert "inference pass" in capsys.readouterr().out
+
+    def test_simulate_oom_exits_nonzero(self, capsys):
+        code = main([
+            "simulate", "--model", "moe-bert", "--seq-len", "512",
+            "--top-k", "4", "--paradigm", "expert-centric",
+        ])
+        assert code == 1
+        assert "out of memory" in capsys.readouterr().err

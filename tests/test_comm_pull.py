@@ -1,0 +1,168 @@
+"""Tests for the §6 pull-based communication substrate."""
+
+import pytest
+
+from repro.cluster import Cluster, Device
+from repro.comm import ControlPlane, PullRequest, PullTransport
+from repro.comm.endpoint import SOCKET_OVERHEAD_S
+from repro.netsim import Fabric
+from repro.simkit import AllOf, Environment
+
+
+def make_transport(machines=2):
+    env = Environment()
+    cluster = Cluster(machines)
+    fabric = Fabric(env, cluster)
+    return env, cluster, fabric, PullTransport(fabric)
+
+
+class TestControlPlane:
+    def test_message_delivered_to_endpoint(self):
+        env, cluster, fabric, transport = make_transport()
+        plane = transport.plane
+        target = Device.gpu(1, 0)
+        request = PullRequest(
+            sender=Device.gpu(0, 0), receiver=target, key="x",
+            payload_bytes=100,
+        )
+        received = []
+
+        def listener():
+            message = yield plane.endpoint(target).recv()
+            received.append((env.now, message))
+
+        env.process(listener())
+        plane.send(request)
+        env.run()
+        assert received
+        arrival, message = received[0]
+        assert message.key == "x"
+        # Arrival pays link latency + socket overhead.
+        assert arrival > SOCKET_OVERHEAD_S
+
+    def test_messages_queue_in_order(self):
+        env, cluster, fabric, transport = make_transport()
+        plane = transport.plane
+        target = Device.gpu(0, 1)
+        seen = []
+
+        def listener():
+            for _ in range(3):
+                message = yield plane.endpoint(target).recv()
+                seen.append(message.key)
+
+        env.process(listener())
+        for key in ("a", "b", "c"):
+            plane.send(PullRequest(
+                sender=Device.gpu(0, 0), receiver=target, key=key,
+            ))
+        env.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_negative_overhead_rejected(self):
+        env, cluster, fabric, _ = make_transport()
+        with pytest.raises(ValueError):
+            ControlPlane(fabric, socket_overhead=-1)
+
+
+class TestPullTransport:
+    def test_pull_round_trip_time(self):
+        env, cluster, fabric, transport = make_transport()
+        server_device = Device.gpu(1, 0)
+        transport.serve(server_device)
+        size = 25e9 * 0.01  # 10 ms of NIC time
+        done = transport.pull(Device.gpu(0, 0), server_device, size, key="e0")
+        env.run(until=done)
+        data_time = size / cluster.spec.nic.bandwidth
+        # Control leg + socket overhead + data leg (plus link latencies).
+        assert env.now > data_time
+        assert env.now < data_time + 1e-3
+
+    def test_pull_without_server_never_completes(self):
+        env, cluster, fabric, transport = make_transport()
+        done = transport.pull(Device.gpu(0, 0), Device.gpu(1, 0), 1e6)
+        env.run()  # drains every scheduled event
+        assert not done.triggered
+
+    def test_concurrent_pulls_from_one_server_share_bandwidth(self):
+        env, cluster, fabric, transport = make_transport()
+        server_device = Device.gpu(1, 0)
+        transport.serve(server_device)
+        size = 25e9 * 0.01
+        pulls = [
+            transport.pull(Device.gpu(0, g), server_device, size, key=g)
+            for g in range(2)
+        ]
+
+        def driver():
+            yield AllOf(env, pulls)
+
+        env.run(until=env.process(driver()))
+        # Both payloads leave through the server's NIC: ~2x the solo time.
+        solo = size / cluster.spec.nic.bandwidth
+        assert env.now > 1.8 * solo
+
+    def test_server_concurrency_limit_serializes(self):
+        env, cluster, fabric, transport = make_transport(machines=1)
+        server_device = Device.gpu(0, 0)
+        server = transport.serve(server_device, concurrency=1)
+        size = 600e9 * 0.001  # 1 ms of NVLink
+        pulls = [
+            transport.pull(Device.gpu(0, g), server_device, size, key=g)
+            for g in (1, 2, 3)
+        ]
+
+        def driver():
+            yield AllOf(env, pulls)
+
+        env.run(until=env.process(driver()))
+        solo = size / cluster.spec.nvlink.bandwidth
+        # Sequential service: at least 3x the solo data time.
+        assert env.now >= 3 * solo
+        assert server.served == 3
+
+    def test_push_delivers_payload(self):
+        env, cluster, fabric, transport = make_transport()
+        done = transport.push(
+            Device.gpu(0, 0), Device.gpu(1, 0), 1e6, key="grad"
+        )
+        env.run(until=done)
+        assert fabric.nic_bytes(0, "out") >= 1e6
+
+    def test_serve_is_idempotent(self):
+        env, cluster, fabric, transport = make_transport()
+        a = transport.serve(Device.gpu(0, 0))
+        b = transport.serve(Device.gpu(0, 0))
+        assert a is b
+
+    def test_invalid_sizes_rejected(self):
+        env, cluster, fabric, transport = make_transport()
+        with pytest.raises(ValueError):
+            transport.pull(Device.gpu(0, 0), Device.gpu(1, 0), -1)
+        with pytest.raises(ValueError):
+            transport.push(Device.gpu(0, 0), Device.gpu(1, 0), -1)
+        with pytest.raises(ValueError):
+            transport.serve(Device.gpu(0, 1), concurrency=0)
+
+    def test_pull_pipeline_like_inter_scheduler(self):
+        """A chain of sequential pulls mirrors the Inter-Node Scheduler's
+        fine-grained fetch behaviour."""
+        env, cluster, fabric, transport = make_transport()
+        server_device = Device.gpu(1, 0)
+        transport.serve(server_device)
+        completions = []
+
+        def chain():
+            for key in range(4):
+                done = transport.pull(
+                    Device.gpu(0, 0), server_device, 1e7, key=key
+                )
+                yield done
+                completions.append(env.now)
+
+        env.run(until=env.process(chain()))
+        assert len(completions) == 4
+        assert completions == sorted(completions)
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        # Steady-state pull cadence is roughly uniform.
+        assert max(gaps) < 2.5 * min(gaps)

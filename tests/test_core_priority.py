@@ -1,0 +1,117 @@
+"""Tests for the topology-aware priority strategies (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    internal_pull_order,
+    internal_pull_priority,
+    pcie_peer_schedule,
+    split_external_groups,
+)
+
+
+class TestAlgorithm1:
+    def test_order_matches_algorithm1(self):
+        # m=4 workers, E=2 experts each; worker r=1 pulls [(r+1)E, mE) then
+        # [0, rE).
+        order = internal_pull_order(1, 4, 2)
+        assert order == [4, 5, 6, 7, 0, 1]
+
+    def test_worker0_order(self):
+        order = internal_pull_order(0, 4, 1)
+        assert order == [1, 2, 3]
+
+    def test_last_worker_wraps(self):
+        order = internal_pull_order(3, 4, 1)
+        assert order == [0, 1, 2]
+
+    def test_orders_are_staggered(self):
+        """Fig. 7(b): at schedule position t, every worker pulls from a
+        different owner."""
+        m, experts = 8, 1
+        orders = [internal_pull_order(r, m, experts) for r in range(m)]
+        for position in range(m - 1):
+            owners = [orders[r][position] for r in range(m)]
+            assert len(set(owners)) == m, (
+                f"position {position} has owner collisions: {owners}"
+            )
+
+    def test_naive_order_collides(self):
+        """Fig. 7(a): without staggering every worker starts at expert 0
+        (or 1 for worker 0) — the egress hotspot."""
+        m = 4
+        orders = [
+            internal_pull_order(r, m, 1, staggered=False) for r in range(m)
+        ]
+        first = [order[0] for order in orders]
+        assert len(set(first)) < m
+
+    def test_every_order_covers_all_foreign_slots(self):
+        m, experts = 4, 2
+        for r in range(m):
+            for staggered in (True, False):
+                order = internal_pull_order(r, m, experts, staggered=staggered)
+                own = set(range(r * experts, (r + 1) * experts))
+                assert set(order) == set(range(m * experts)) - own
+
+    def test_priority_formula(self):
+        # P = rank(i) - r for rank(i) > r; rank(i) + m - r for rank(i) < r.
+        m, experts = 4, 1
+        assert internal_pull_priority(2, 1, m, experts) == 1
+        assert internal_pull_priority(0, 1, m, experts) == 3
+        assert internal_pull_priority(1, 1, m, experts) == -1  # own expert
+
+    def test_priority_agrees_with_order(self):
+        m, experts = 8, 2
+        for r in range(m):
+            order = internal_pull_order(r, m, experts)
+            priorities = [
+                internal_pull_priority(slot, r, m, experts) for slot in order
+            ]
+            assert priorities == sorted(priorities)
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            internal_pull_order(4, 4, 1)
+
+
+class TestPciePeerScheduling:
+    def test_groups_are_disjoint_and_cover(self):
+        experts = list(range(10, 22))
+        mine, peers = split_external_groups(experts, local_rank=0)
+        assert sorted(mine + peers) == experts
+        assert not set(mine) & set(peers)
+
+    def test_peer_lanes_are_complementary(self):
+        experts = list(range(7))
+        mine0, peers0 = split_external_groups(experts, local_rank=2)  # even lane
+        mine1, peers1 = split_external_groups(experts, local_rank=3)  # odd lane
+        assert mine0 == peers1
+        assert mine1 == peers0
+
+    def test_schedule_interleaves_pcie_and_peer(self):
+        schedule = pcie_peer_schedule(list(range(6)), local_rank=0)
+        vias = [step.via for step in schedule]
+        assert vias == ["pcie", "peer", "pcie", "peer", "pcie", "peer"]
+
+    def test_schedule_covers_all_experts(self):
+        experts = list(range(9))
+        schedule = pcie_peer_schedule(experts, local_rank=1)
+        assert sorted(step.expert for step in schedule) == experts
+
+    def test_disabled_schedule_is_all_pcie(self):
+        schedule = pcie_peer_schedule(list(range(5)), 0, enabled=False)
+        assert all(step.via == "pcie" for step in schedule)
+        assert [step.expert for step in schedule] == list(range(5))
+
+    def test_pcie_load_halved(self):
+        """The point of Fig. 8: each GPU copies only ~half the experts over
+        the PCIe switch uplink."""
+        experts = list(range(8))
+        schedule = pcie_peer_schedule(experts, local_rank=0)
+        pcie_steps = [s for s in schedule if s.via == "pcie"]
+        assert len(pcie_steps) == 4
+
+    def test_empty_expert_list(self):
+        assert pcie_peer_schedule([], 0) == []

@@ -1,0 +1,39 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "traffic reduction" in out
+
+
+def test_paradigm_planner_runs(capsys):
+    run_example("paradigm_planner.py")
+    out = capsys.readouterr().out
+    assert "OOM on 80GB A100!" in out       # the Fig. 16 case
+    assert "data-centric" in out
+
+
+def test_train_tiny_moe_runs(capsys):
+    run_example("train_tiny_moe.py")
+    out = capsys.readouterr().out
+    assert "identical training trajectories" in out
+
+
+def test_pull_protocol_runs(capsys):
+    run_example("pull_protocol.py")
+    out = capsys.readouterr().out
+    assert "sequential fine-grained pulls" in out
+    assert "cross-machine bytes moved" in out

@@ -1,0 +1,153 @@
+"""Unit tests for the fluid max-min network model."""
+
+import pytest
+
+from repro.netsim import FluidNetwork
+from repro.simkit import Environment
+
+
+def make_net(links):
+    env = Environment()
+    net = FluidNetwork(env)
+    for link_id, bandwidth in links.items():
+        net.add_link(link_id, bandwidth)
+    return env, net
+
+
+def run_flows(env, net, specs):
+    """Start flows per spec list [(path, size, latency)] and run to done."""
+    flows = [net.transfer(path, size, latency) for path, size, latency in specs]
+
+    def driver():
+        for flow in flows:
+            yield flow.done
+
+    env.run(until=env.process(driver()))
+    return flows
+
+
+def test_single_flow_duration_is_size_over_bandwidth():
+    env, net = make_net({"l": 100.0})
+    (flow,) = run_flows(env, net, [(("l",), 1000.0, 0.0)])
+    assert flow.completed_at == pytest.approx(10.0)
+
+
+def test_latency_is_added_once_before_transfer():
+    env, net = make_net({"l": 100.0})
+    (flow,) = run_flows(env, net, [(("l",), 1000.0, 2.5)])
+    assert flow.completed_at == pytest.approx(12.5)
+
+
+def test_two_flows_share_a_link_fairly():
+    env, net = make_net({"l": 100.0})
+    flows = run_flows(
+        env, net, [(("l",), 1000.0, 0.0), (("l",), 1000.0, 0.0)]
+    )
+    # Both progress at 50 B/s and complete together at t=20.
+    for flow in flows:
+        assert flow.completed_at == pytest.approx(20.0)
+
+
+def test_short_flow_finishes_then_long_flow_speeds_up():
+    env, net = make_net({"l": 100.0})
+    flows = run_flows(
+        env, net, [(("l",), 400.0, 0.0), (("l",), 1000.0, 0.0)]
+    )
+    # Shared until t=8 (400B each at 50B/s); then the long flow runs at
+    # 100 B/s for its remaining 600B -> done at t=14.
+    assert flows[0].completed_at == pytest.approx(8.0)
+    assert flows[1].completed_at == pytest.approx(14.0)
+
+
+def test_bottleneck_is_path_minimum():
+    env, net = make_net({"fast": 1000.0, "slow": 10.0})
+    (flow,) = run_flows(env, net, [(("fast", "slow"), 100.0, 0.0)])
+    assert flow.completed_at == pytest.approx(10.0)
+
+
+def test_max_min_gives_unbottlenecked_flow_the_residual():
+    # Flow A crosses links X and Y; flow B crosses only X.
+    # X has 100, Y has 30. A is limited to 30 by Y; B gets 70 on X.
+    env, net = make_net({"x": 100.0, "y": 30.0})
+    flows = run_flows(
+        env, net, [(("x", "y"), 300.0, 0.0), (("x",), 700.0, 0.0)]
+    )
+    assert flows[0].completed_at == pytest.approx(10.0)
+    assert flows[1].completed_at == pytest.approx(10.0)
+
+
+def test_staggered_arrivals_reallocate_rates():
+    env, net = make_net({"l": 100.0})
+    flow_a = net.transfer(("l",), 1000.0)
+
+    def late_start(results):
+        yield env.timeout(5)
+        flow_b = net.transfer(("l",), 250.0)
+        yield flow_b.done
+        results.append(flow_b)
+
+    results = []
+    env.process(late_start(results))
+
+    def driver():
+        yield flow_a.done
+
+    env.run(until=env.process(driver()))
+    # A runs alone 0-5 (500B), shares 5-10 (250B), alone after.
+    flow_b = results[0]
+    assert flow_b.completed_at == pytest.approx(10.0)
+    assert flow_a.completed_at == pytest.approx(12.5)
+
+
+def test_zero_size_transfer_completes_after_latency():
+    env, net = make_net({"l": 100.0})
+    (flow,) = run_flows(env, net, [(("l",), 0.0, 3.0)])
+    assert flow.completed_at == pytest.approx(3.0)
+
+
+def test_empty_path_local_copy():
+    env, net = make_net({})
+    (flow,) = run_flows(env, net, [((), 1e9, 0.0)])
+    assert flow.completed_at == pytest.approx(0.0)
+
+
+def test_unknown_link_rejected():
+    env, net = make_net({"l": 1.0})
+    with pytest.raises(KeyError):
+        net.transfer(("ghost",), 10.0)
+
+
+def test_negative_size_rejected():
+    env, net = make_net({"l": 1.0})
+    with pytest.raises(ValueError):
+        net.transfer(("l",), -5.0)
+
+
+def test_duplicate_link_rejected():
+    env, net = make_net({"l": 1.0})
+    with pytest.raises(ValueError):
+        net.add_link("l", 2.0)
+
+
+def test_link_byte_accounting():
+    env, net = make_net({"a": 100.0, "b": 100.0})
+    run_flows(env, net, [(("a", "b"), 500.0, 0.0), (("a",), 250.0, 0.0)])
+    assert net.link_bytes["a"] == pytest.approx(750.0)
+    assert net.link_bytes["b"] == pytest.approx(500.0)
+    assert net.total_bytes_completed == pytest.approx(750.0)
+
+
+def test_many_symmetric_flows_complete_together():
+    env, net = make_net({f"l{i}": 50.0 for i in range(8)})
+    specs = [((f"l{i}",), 500.0, 0.0) for i in range(8)]
+    flows = run_flows(env, net, specs)
+    for flow in flows:
+        assert flow.completed_at == pytest.approx(10.0)
+
+
+def test_utilization_metric():
+    env, net = make_net({"l": 100.0})
+    run_flows(env, net, [(("l",), 500.0, 0.0)])
+    # 500 bytes over 5 seconds on a 100 B/s link: 100% while active.
+    assert net.link_utilization("l", elapsed=5.0) == pytest.approx(1.0)
+    assert net.link_utilization("l", elapsed=10.0) == pytest.approx(0.5)

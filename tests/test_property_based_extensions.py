@@ -1,0 +1,142 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import r_grid
+from repro.config import ModelConfig
+from repro.core.memory_model import (
+    estimate_data_centric,
+    estimate_expert_centric,
+    estimate_mixed,
+)
+from repro.core.tensor_parallel import plan_tensor_parallel
+from repro.models import TopKGate
+from repro.tensorlib import Tensor
+from repro.workloads import SyntheticCorpus
+
+
+def moe_config(batch, seq, hidden, experts, k):
+    return ModelConfig(
+        name="prop", batch_size=batch, seq_len=seq, top_k=k,
+        hidden_dim=hidden, num_blocks=2, experts_per_block={1: experts},
+        num_heads=4,
+    )
+
+
+class TestMemoryModelProperties:
+    @given(
+        batch=st.sampled_from([8, 32, 128]),
+        seq=st.sampled_from([64, 256, 1024]),
+        hidden=st.sampled_from([64, 256, 768]),
+    )
+    @settings(max_examples=30)
+    def test_mixed_estimate_bounds(self, batch, seq, hidden):
+        """Mixed mode carries the DC fixed buffers plus a pro-rated share
+        of the EC All-to-All buffers: at least pure-DC, and never more
+        overhead than the two pure modes combined."""
+        config = ModelConfig(
+            name="m", batch_size=batch, seq_len=seq, top_k=2,
+            hidden_dim=hidden, num_blocks=4,
+            experts_per_block={1: 32, 3: 32}, num_heads=4,
+        )
+        ec = estimate_expert_centric(config, 32)
+        dc = estimate_data_centric(config, 32)
+        mixed = estimate_mixed(config, 32, 1, 1)
+        assert mixed.total >= dc.total
+        assert (
+            mixed.paradigm_extra
+            <= ec.paradigm_extra + dc.paradigm_extra + 1e-6
+        )
+        # The EC share is pro-rated: one of two blocks -> half the slack.
+        assert mixed.paradigm_extra - dc.paradigm_extra == pytest.approx(
+            ec.paradigm_extra / 2
+        )
+
+    @given(seq=st.sampled_from([64, 128, 256, 512, 1024]))
+    @settings(max_examples=20)
+    def test_ec_estimate_monotone_in_seq_len(self, seq):
+        shorter = estimate_expert_centric(
+            moe_config(32, seq, 256, 32, 2), 32
+        ).total
+        longer = estimate_expert_centric(
+            moe_config(32, seq * 2, 256, 32, 2), 32
+        ).total
+        assert longer > shorter
+
+
+class TestTensorParallelProperties:
+    @given(tp=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=20)
+    def test_aggregate_group_payload_invariant(self, tp):
+        config = moe_config(64, 128, 256, 32, 2)
+        plan = plan_tensor_parallel(config, 1, 4, 8, tp_degree=tp)
+        # tp shards x shard size == one full expert, always.
+        assert tp * plan.shard_bytes == pytest.approx(config.expert_bytes)
+        # Experts per group x number of groups == total experts.
+        assert plan.experts_per_group * (32 // tp) == 32
+
+
+class TestGateProperties:
+    @given(
+        tokens=st.integers(4, 60),
+        experts=st.sampled_from([2, 4, 8]),
+        k=st.integers(1, 2),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_combine_weights_always_normalized(self, tokens, experts, k, seed):
+        gate = TopKGate(8, experts, k, rng=np.random.default_rng(seed))
+        decision = gate(
+            Tensor(np.random.default_rng(seed + 1).standard_normal((tokens, 8)))
+        )
+        weights = decision.combine_weights.numpy()
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-9)
+        assert (weights >= 0).all()
+
+    @given(
+        factor=st.floats(0.25, 2.0),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_bound_always_respected(self, factor, seed):
+        gate = TopKGate(
+            8, 4, 2, rng=np.random.default_rng(seed), capacity_factor=factor
+        )
+        decision = gate(
+            Tensor(np.random.default_rng(seed).standard_normal((40, 8)))
+        )
+        assert decision.tokens_per_expert(4).max() <= gate.expert_capacity(40)
+
+
+class TestCorpusProperties:
+    @given(
+        seed=st.integers(0, 10000),
+        index=st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_sequences_deterministic_and_in_range(self, seed, index):
+        corpus = SyntheticCorpus(64, 12, seed=seed)
+        a = corpus.sequence(index)
+        b = corpus.sequence(index)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 64
+        assert len(a) == 13
+
+
+class TestSweepProperties:
+    @given(
+        hidden=st.sampled_from([128, 256, 1024]),
+        experts=st.integers(1, 8),
+        machines=st.integers(2, 8),
+    )
+    @settings(max_examples=30)
+    def test_grid_positive_and_monotone(self, hidden, experts, machines):
+        batches = [8, 64, 512]
+        seqs = [32, 256, 2048]
+        grid = r_grid(batches, seqs, 2, machines, hidden, experts)
+        assert (grid > 0).all()
+        assert (np.diff(grid, axis=0) > 0).all()
+        assert (np.diff(grid, axis=1) > 0).all()

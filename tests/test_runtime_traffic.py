@@ -1,0 +1,299 @@
+"""Traffic accounting: the emulated runtime against §5.1.3's closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.core import comm_data_centric, comm_expert_centric
+from repro.runtime import (
+    CommLog,
+    CommRecord,
+    DataCentricMoE,
+    ExpertCentricMoE,
+    ExpertPlacement,
+    RankLayout,
+)
+from repro.tensorlib import Tensor
+
+HIDDEN = 16
+DTYPE_BYTES = 4
+
+
+class TestRankLayout:
+    def test_machine_mapping(self):
+        layout = RankLayout(3, 4)
+        assert layout.world_size == 12
+        assert layout.machine_of(7) == 1
+        assert layout.local_rank_of(7) == 3
+        assert layout.ranks_of_machine(2) == [8, 9, 10, 11]
+
+    def test_same_machine(self):
+        layout = RankLayout(2, 4)
+        assert layout.same_machine(0, 3)
+        assert not layout.same_machine(3, 4)
+
+    def test_bounds(self):
+        layout = RankLayout(2, 2)
+        with pytest.raises(ValueError):
+            layout.machine_of(4)
+        with pytest.raises(ValueError):
+            layout.ranks_of_machine(2)
+        with pytest.raises(ValueError):
+            RankLayout(0, 2)
+
+
+class TestExpertPlacement:
+    def test_contiguous_ownership(self):
+        placement = ExpertPlacement(8, 4)
+        assert placement.experts_per_worker == 2
+        assert placement.owner(0) == 0
+        assert placement.owner(5) == 2
+        assert placement.experts_of(3) == (6, 7)
+
+    def test_is_local(self):
+        placement = ExpertPlacement(4, 4)
+        assert placement.is_local(2, 2)
+        assert not placement.is_local(2, 1)
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            ExpertPlacement(10, 4)
+
+    def test_bounds(self):
+        placement = ExpertPlacement(4, 2)
+        with pytest.raises(ValueError):
+            placement.owner(4)
+        with pytest.raises(ValueError):
+            placement.experts_of(2)
+
+
+class TestCommLog:
+    def test_record_and_totals(self):
+        layout = RankLayout(2, 2)
+        log = CommLog(layout)
+        log.record("dispatch", 0, 3, 100)  # cross machine
+        log.record("dispatch", 0, 1, 50)   # same machine
+        assert log.total_bytes() == 150
+        assert log.cross_machine_bytes() == 100
+
+    def test_kind_filters(self):
+        layout = RankLayout(2, 2)
+        log = CommLog(layout)
+        log.record("dispatch", 0, 2, 10)
+        log.record("expert_pull", 2, 0, 20)
+        assert log.total_bytes(["dispatch"]) == 10
+        assert log.by_kind() == {"dispatch": 10.0, "expert_pull": 20.0}
+
+    def test_machine_egress_ingress(self):
+        layout = RankLayout(2, 2)
+        log = CommLog(layout)
+        log.record("dispatch", 0, 2, 10)
+        log.record("dispatch", 3, 1, 30)
+        np.testing.assert_allclose(log.machine_egress_bytes(), [10, 30])
+        np.testing.assert_allclose(log.machine_ingress_bytes(), [30, 10])
+
+    def test_rank_matrix(self):
+        layout = RankLayout(1, 3)
+        log = CommLog(layout)
+        log.record("combine", 1, 2, 5)
+        log.record("combine", 1, 2, 7)
+        matrix = log.rank_matrix()
+        assert matrix[1, 2] == 12
+        assert matrix.sum() == 12
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CommRecord("gossip", 0, 1, 5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CommRecord("dispatch", 0, 1, -5)
+
+    def test_clear(self):
+        layout = RankLayout(1, 2)
+        log = CommLog(layout)
+        log.record("dispatch", 0, 1, 5)
+        log.clear()
+        assert log.total_bytes() == 0
+
+
+def run_iteration(executor, layout, tokens_per_worker=64, seed=0):
+    rng = np.random.default_rng(seed)
+    tokens = [
+        Tensor(rng.standard_normal((tokens_per_worker, HIDDEN)))
+        for _ in range(layout.world_size)
+    ]
+    outputs = executor.run(tokens)
+    loss = None
+    for out in outputs:
+        term = (out * out).sum()
+        loss = term if loss is None else loss + term
+    loss.backward()
+    executor.finish_backward()
+    return executor
+
+
+class TestDataCentricTraffic:
+    def test_each_machine_pulls_each_external_expert_once(self):
+        """The hierarchical cache invariant (§5.1.2): one cross-machine pull
+        per (machine, external expert) regardless of how many local workers
+        need the expert."""
+        layout = RankLayout(2, 4)
+        executor = DataCentricMoE(
+            HIDDEN, 8, 4, layout, dtype_bytes=DTYPE_BYTES,
+            rng=np.random.default_rng(1),
+        )
+        run_iteration(executor, layout, tokens_per_worker=256)
+        cross = executor.comm_log.cross_machine_bytes(["expert_pull"])
+        # 2 machines x 4 external experts each, one pull per pair.
+        expected = 2 * 4 * executor.expert_bytes
+        assert cross == pytest.approx(expected)
+
+    def test_forward_traffic_matches_comm_dc_formula(self):
+        layout = RankLayout(2, 4)
+        executor = DataCentricMoE(
+            HIDDEN, 8, 4, layout, dtype_bytes=DTYPE_BYTES,
+            rng=np.random.default_rng(1),
+        )
+        run_iteration(executor, layout, tokens_per_worker=256)
+        per_machine = executor.comm_log.machine_ingress_bytes(["expert_pull"])
+        expected = comm_data_centric(
+            hidden_dim=HIDDEN,
+            experts_per_worker=1,
+            workers_per_machine=4,
+            num_machines=2,
+            dtype_bytes=DTYPE_BYTES,
+        )
+        np.testing.assert_allclose(per_machine, expected)
+
+    def test_grad_push_once_per_machine_expert(self):
+        layout = RankLayout(2, 2)
+        executor = DataCentricMoE(
+            HIDDEN, 4, 2, layout, dtype_bytes=DTYPE_BYTES,
+            rng=np.random.default_rng(1),
+        )
+        run_iteration(executor, layout, tokens_per_worker=128)
+        cross = executor.comm_log.cross_machine_bytes(["grad_push"])
+        # Each machine pushes gradients for the 2 external experts it pulled.
+        assert cross == pytest.approx(2 * 2 * executor.expert_bytes)
+
+    def test_backward_traffic_equals_forward_traffic(self):
+        """§5.1.3: DC backward volume equals forward volume."""
+        layout = RankLayout(2, 2)
+        executor = DataCentricMoE(
+            HIDDEN, 4, 2, layout, rng=np.random.default_rng(1)
+        )
+        run_iteration(executor, layout, tokens_per_worker=128)
+        log = executor.comm_log
+        assert log.cross_machine_bytes(["grad_push"]) == pytest.approx(
+            log.cross_machine_bytes(["expert_pull"])
+        )
+
+    def test_workload_balanced_across_machines(self):
+        """Every machine sends/receives the same expert volume (§3.2)."""
+        layout = RankLayout(4, 2)
+        executor = DataCentricMoE(
+            HIDDEN, 8, 2, layout, rng=np.random.default_rng(1)
+        )
+        run_iteration(executor, layout, tokens_per_worker=256)
+        egress = executor.comm_log.machine_egress_bytes(["expert_pull"])
+        assert np.allclose(egress, egress[0])
+
+
+class TestExpertCentricTraffic:
+    def test_dispatch_traffic_tracks_token_routing(self):
+        layout = RankLayout(2, 2)
+        executor = ExpertCentricMoE(
+            HIDDEN, 4, 2, layout, dtype_bytes=DTYPE_BYTES,
+            rng=np.random.default_rng(1),
+        )
+        tokens_per_worker = 64
+        run_iteration(executor, layout, tokens_per_worker=tokens_per_worker)
+        log = executor.comm_log
+        dispatch = log.total_bytes(["dispatch"])
+        # Every routed slot that leaves its worker costs one token payload.
+        total_slots = layout.world_size * tokens_per_worker * 2  # k=2
+        # All slots except those landing on their own worker are shipped.
+        decisions = executor.last_decisions
+        placement = executor.placement
+        kept = 0
+        for rank, decision in enumerate(decisions):
+            for expert in placement.experts_of(rank):
+                kept += decision.slots_for_expert(expert)[0].size
+        expected = (total_slots - kept) * executor.token_bytes
+        assert dispatch == pytest.approx(expected)
+
+    def test_combine_equals_dispatch(self):
+        layout = RankLayout(2, 2)
+        executor = ExpertCentricMoE(
+            HIDDEN, 4, 2, layout, rng=np.random.default_rng(1)
+        )
+        run_iteration(executor, layout, tokens_per_worker=64)
+        log = executor.comm_log
+        assert log.total_bytes(["combine"]) == pytest.approx(
+            log.total_bytes(["dispatch"])
+        )
+
+    def test_backward_mirror_volumes(self):
+        layout = RankLayout(2, 2)
+        executor = ExpertCentricMoE(
+            HIDDEN, 4, 2, layout, rng=np.random.default_rng(1)
+        )
+        run_iteration(executor, layout, tokens_per_worker=64)
+        log = executor.comm_log
+        assert log.total_bytes(["dispatch_grad"]) == pytest.approx(
+            log.total_bytes(["combine"])
+        )
+        assert log.total_bytes(["combine_grad"]) == pytest.approx(
+            log.total_bytes(["dispatch"])
+        )
+
+    def test_cross_machine_close_to_formula_lower_bound(self):
+        """With near-balanced routing, measured EC cross-node traffic is
+        close to (and at least of the order of) the balanced formula."""
+        layout = RankLayout(2, 4)
+        executor = ExpertCentricMoE(
+            HIDDEN, 8, 2, layout, dtype_bytes=DTYPE_BYTES,
+            rng=np.random.default_rng(1),
+        )
+        tokens_per_worker = 512
+        run_iteration(executor, layout, tokens_per_worker=tokens_per_worker)
+        measured = executor.comm_log.cross_machine_bytes(
+            ["dispatch", "combine"]
+        ) / layout.num_machines
+        # The formula takes T = tokens*k routed slots per worker.
+        expected = comm_expert_centric(
+            hidden_dim=HIDDEN,
+            tokens_per_worker=tokens_per_worker * 2,
+            workers_per_machine=4,
+            num_machines=2,
+            dtype_bytes=DTYPE_BYTES,
+        )
+        assert measured == pytest.approx(expected, rel=0.25)
+
+
+class TestParadigmComparison:
+    def test_dc_moves_less_when_r_large(self):
+        """Large T, small H*E: data-centric should win on wires."""
+        layout = RankLayout(2, 2)
+        ec = ExpertCentricMoE(HIDDEN, 4, 2, layout, rng=np.random.default_rng(1))
+        dc = DataCentricMoE(HIDDEN, 4, 2, layout, rng=np.random.default_rng(2))
+        dc.import_state(ec.export_state())
+        run_iteration(ec, layout, tokens_per_worker=2048)
+        run_iteration(dc, layout, tokens_per_worker=2048)
+        assert (
+            dc.comm_log.cross_machine_bytes()
+            < 0.25 * ec.comm_log.cross_machine_bytes()
+        )
+
+    def test_ec_moves_less_when_r_small(self):
+        """Few tokens, many experts: expert-centric should win on wires."""
+        layout = RankLayout(2, 2)
+        ec = ExpertCentricMoE(HIDDEN, 16, 2, layout, rng=np.random.default_rng(1))
+        dc = DataCentricMoE(HIDDEN, 16, 2, layout, rng=np.random.default_rng(2))
+        dc.import_state(ec.export_state())
+        run_iteration(ec, layout, tokens_per_worker=8)
+        run_iteration(dc, layout, tokens_per_worker=8)
+        assert (
+            ec.comm_log.cross_machine_bytes()
+            < dc.comm_log.cross_machine_bytes()
+        )

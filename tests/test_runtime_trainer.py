@@ -1,0 +1,183 @@
+"""Tests for the distributed trainer, grad clipping and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.runtime import DistributedMoETransformer, RankLayout
+from repro.runtime.trainer import (
+    DistributedTrainer,
+    linear_warmup_schedule,
+)
+from repro.tensorlib import Adam, Parameter, SGD, Tensor
+from repro.tensorlib.optim import clip_grad_norm
+from repro.workloads import target_batches, token_batches
+
+RNG = np.random.default_rng(4)
+
+
+def tiny_config():
+    return ModelConfig(
+        name="trainer-test", batch_size=3, seq_len=6, top_k=2, hidden_dim=16,
+        num_blocks=3, experts_per_block={1: 4}, num_heads=4, vocab_size=48,
+        causal=True,
+    )
+
+
+def make_trainer(paradigm="data-centric", **kwargs):
+    config = tiny_config()
+    layout = RankLayout(2, 2)
+    model = DistributedMoETransformer(
+        config, layout,
+        paradigm_for_block={1: paradigm},
+        rng=np.random.default_rng(1),
+    )
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    return config, layout, model, DistributedTrainer(model, optimizer, **kwargs)
+
+
+def make_batch(config, layout, seed):
+    rng = np.random.default_rng(seed)
+    return (
+        token_batches(config, layout.world_size, rng=rng),
+        target_batches(config, layout.world_size, rng=rng),
+    )
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.1)
+        clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, 0.1)
+
+    def test_skips_gradless_params(self):
+        with_grad = Parameter(np.zeros(2))
+        with_grad.grad = np.ones(2)
+        without = Parameter(np.zeros(2))
+        clip_grad_norm([with_grad, without], max_norm=0.5)
+        assert without.grad is None
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0)
+
+
+class TestSchedule:
+    def test_warmup_ramps_then_holds(self):
+        schedule = linear_warmup_schedule(1e-3, warmup_steps=4)
+        values = [schedule(step) for step in range(6)]
+        assert values[0] == pytest.approx(0.25e-3)
+        assert values[3] == pytest.approx(1e-3)
+        assert values[5] == pytest.approx(1e-3)
+
+    def test_zero_warmup(self):
+        schedule = linear_warmup_schedule(1e-3, warmup_steps=0)
+        assert schedule(0) == 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_warmup_schedule(0, 4)
+
+
+class TestTrainer:
+    def test_loss_decreases_on_fixed_batch(self):
+        config, layout, model, trainer = make_trainer()
+        tokens, targets = make_batch(config, layout, seed=0)
+        first = trainer.step(tokens, targets).loss
+        for _ in range(7):
+            last = trainer.step(tokens, targets).loss
+        assert last < first
+        assert trainer.step_count == 8
+        assert trainer.last_loss == last
+
+    def test_metrics_record_traffic_per_step(self):
+        config, layout, model, trainer = make_trainer()
+        tokens, targets = make_batch(config, layout, seed=0)
+        first = trainer.step(tokens, targets)
+        second = trainer.step(tokens, targets)
+        assert first.cross_machine_bytes > 0
+        # Per-step traffic is constant across steps (same routing scale).
+        assert second.cross_machine_bytes == pytest.approx(
+            first.cross_machine_bytes, rel=0.5
+        )
+
+    def test_grad_clip_bounds_reported_norm_effect(self):
+        config, layout, model, trainer = make_trainer(grad_clip=0.01)
+        tokens, targets = make_batch(config, layout, seed=0)
+        metrics = trainer.step(tokens, targets)
+        post_norm = np.sqrt(sum(
+            float((p.grad**2).sum())
+            for p in trainer.optimizer.parameters
+            if p.grad is not None
+        ))
+        assert metrics.grad_norm >= post_norm
+        assert post_norm <= 0.01 * 1.001
+
+    def test_lr_schedule_applied(self):
+        config, layout, model, trainer = make_trainer(
+            lr_schedule=linear_warmup_schedule(1e-2, warmup_steps=2)
+        )
+        tokens, targets = make_batch(config, layout, seed=0)
+        first = trainer.step(tokens, targets)
+        second = trainer.step(tokens, targets)
+        assert first.learning_rate == pytest.approx(5e-3)
+        assert second.learning_rate == pytest.approx(1e-2)
+
+    def test_fit_over_generator(self):
+        config, layout, model, trainer = make_trainer()
+        data = (make_batch(config, layout, seed=s) for s in range(10))
+        metrics = trainer.fit(data, steps=4)
+        assert len(metrics) == 4
+        assert trainer.step_count == 4
+
+    def test_paradigms_train_identically(self):
+        results = {}
+        for paradigm in ("expert-centric", "data-centric"):
+            config, layout, model, trainer = make_trainer(paradigm)
+            tokens, targets = make_batch(config, layout, seed=0)
+            for _ in range(3):
+                metrics = trainer.step(tokens, targets)
+            results[paradigm] = metrics.loss
+        assert results["expert-centric"] == pytest.approx(
+            results["data-centric"], abs=1e-9
+        )
+
+    def test_invalid_grad_clip(self):
+        with pytest.raises(ValueError):
+            make_trainer(grad_clip=0)
+
+
+class TestModelStateDict:
+    def test_round_trip_preserves_forward(self):
+        config = tiny_config()
+        layout = RankLayout(2, 2)
+        src = DistributedMoETransformer(
+            config, layout, paradigm_for_block={1: "data-centric"},
+            rng=np.random.default_rng(1),
+        )
+        dst = DistributedMoETransformer(
+            config, layout, paradigm_for_block={1: "expert-centric"},
+            rng=np.random.default_rng(2),
+        )
+        dst.load_state_dict(src.state_dict())
+        batches = token_batches(config, 4, rng=np.random.default_rng(3))
+        for a, b in zip(src.forward(batches), dst.forward(batches)):
+            np.testing.assert_allclose(a.numpy(), b.numpy(), atol=1e-10)
+
+    def test_state_dict_keys_are_disjoint_per_block(self):
+        config = tiny_config()
+        model = DistributedMoETransformer(
+            config, RankLayout(2, 2), rng=np.random.default_rng(1)
+        )
+        state = model.state_dict()
+        assert any(key.startswith("block1.moe.") for key in state)
+        assert any(key.startswith("block0.") for key in state)
+        assert len(state) == len(set(state))

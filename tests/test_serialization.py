@@ -1,0 +1,129 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.models import MoETransformer
+from repro.tensorlib import Adam, Linear, SGD, Sequential, Tensor
+from repro.tensorlib.serialization import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+RNG = np.random.default_rng(2)
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 8, rng=rng), Linear(8, 3, rng=rng))
+
+
+class TestCheckpointRoundTrip:
+    def test_module_round_trip(self, tmp_path):
+        src = small_net(seed=1)
+        dst = small_net(seed=2)
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, src)
+        load_checkpoint(path, dst)
+        x = Tensor(RNG.standard_normal((4, 6)))
+        np.testing.assert_allclose(src(x).numpy(), dst(x).numpy())
+
+    def test_metadata_round_trip(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_checkpoint(path, small_net(), metadata={"step": 7, "loss": 1.5})
+        meta = load_checkpoint(path, small_net())
+        assert meta == {"step": 7, "loss": 1.5}
+
+    def test_suffix_added_automatically_on_load(self, tmp_path):
+        path = tmp_path / "model"
+        save_checkpoint(path, small_net(seed=1))  # np.savez appends .npz
+        dst = small_net(seed=2)
+        load_checkpoint(tmp_path / "model", dst)
+
+    def test_adam_state_round_trip(self, tmp_path):
+        net = small_net(seed=1)
+        optimizer = Adam(net.parameters(), lr=0.01)
+        target = Tensor(np.ones((4, 3)))
+        x = Tensor(RNG.standard_normal((4, 6)))
+        for _ in range(3):
+            optimizer.zero_grad()
+            ((net(x) - target) ** 2).sum().backward()
+            optimizer.step()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, net, optimizer)
+
+        restored_net = small_net(seed=9)
+        restored_opt = Adam(restored_net.parameters(), lr=0.01)
+        load_checkpoint(path, restored_net, restored_opt)
+        assert restored_opt._step == optimizer._step
+        for a, b in zip(optimizer._m, restored_opt._m):
+            np.testing.assert_allclose(a, b)
+
+        # Continuing training from either copy yields identical params.
+        for opt, model in ((optimizer, net), (restored_opt, restored_net)):
+            opt.zero_grad()
+            ((model(x) - target) ** 2).sum().backward()
+            opt.step()
+        for a, b in zip(net.parameters(), restored_net.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_sgd_momentum_round_trip(self, tmp_path):
+        net = small_net(seed=1)
+        optimizer = SGD(net.parameters(), lr=0.1, momentum=0.9)
+        x = Tensor(RNG.standard_normal((4, 6)))
+        optimizer.zero_grad()
+        (net(x) ** 2).sum().backward()
+        optimizer.step()
+        path = tmp_path / "sgd.npz"
+        save_checkpoint(path, net, optimizer)
+        restored_net = small_net(seed=3)
+        restored_opt = SGD(restored_net.parameters(), lr=0.1, momentum=0.9)
+        load_checkpoint(path, restored_net, restored_opt)
+        for a, b in zip(optimizer._velocity, restored_opt._velocity):
+            np.testing.assert_allclose(a, b)
+
+    def test_full_moe_model_round_trip(self, tmp_path):
+        config = ModelConfig(
+            name="t", batch_size=2, seq_len=4, top_k=2, hidden_dim=16,
+            num_blocks=2, experts_per_block={1: 4}, num_heads=4,
+            vocab_size=30,
+        )
+        src = MoETransformer(config, rng=np.random.default_rng(1))
+        dst = MoETransformer(config, rng=np.random.default_rng(2))
+        path = tmp_path / "moe.npz"
+        save_checkpoint(path, src)
+        load_checkpoint(path, dst)
+        tokens = RNG.integers(0, 30, size=(2, 4))
+        np.testing.assert_allclose(src(tokens).numpy(), dst(tokens).numpy())
+
+
+class TestCheckpointErrors:
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, small_net())
+
+    def test_optimizer_kind_mismatch_rejected(self, tmp_path):
+        net = small_net(seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, net, SGD(net.parameters(), lr=0.1))
+        other = small_net(seed=1)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, other, Adam(other.parameters()))
+
+    def test_missing_optimizer_state_rejected(self, tmp_path):
+        net = small_net(seed=1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, net)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, net, SGD(net.parameters(), lr=0.1))
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, small_net())
+        wrong = Sequential(Linear(5, 5), Linear(5, 5))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(path, wrong)

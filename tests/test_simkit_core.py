@@ -1,0 +1,312 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simkit import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5)
+        log.append(env.now)
+        yield env.timeout(2.5)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5, 7.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_timeout_value_passed_through():
+    env = Environment()
+    seen = []
+
+    def proc():
+        value = yield env.timeout(1, value="payload")
+        seen.append(value)
+
+    env.process(proc())
+    env.run()
+    assert seen == ["payload"]
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(3)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def make(name):
+        def proc():
+            yield env.timeout(1)
+            order.append(name)
+
+        return proc
+
+    for name in "abcd":
+        env.process(make(name)())
+    env.run()
+    assert order == list("abcd")
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=25)
+    assert env.now == 25
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(4)
+        return "done"
+
+    result = env.run(until=env.process(proc()))
+    assert result == "done"
+    assert env.now == 4
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener():
+        yield env.timeout(7)
+        gate.succeed("open")
+
+    env.process(waiter())
+    env.process(opener())
+    env.run()
+    assert log == [(7, "open")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    gate = env.event()
+    gate.succeed()
+    with pytest.raises(SimulationError):
+        gate.succeed()
+
+
+def test_failed_event_raises_in_process():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_all_of_waits_for_slowest():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield AllOf(env, [env.timeout(3), env.timeout(9), env.timeout(6)])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [9]
+
+
+def test_any_of_waits_for_fastest():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield AnyOf(env, [env.timeout(3), env.timeout(9)])
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [3]
+
+
+def test_and_or_operators():
+    env = Environment()
+    times = []
+
+    def proc():
+        yield env.timeout(2) & env.timeout(5)
+        times.append(env.now)
+        yield env.timeout(10) | env.timeout(1)
+        times.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert times == [5, 6]
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+    done = []
+
+    def proc():
+        value = yield AllOf(env, [])
+        done.append(value)
+
+    env.process(proc())
+    env.run()
+    assert done == [{}]
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(target):
+        yield env.timeout(5)
+        target.interrupt(cause="stop")
+
+    target = env.process(victim())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(5, "stop")]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+
+    proc = env.process(quick())
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_yield_on_already_processed_event_resumes_immediately():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+    log = []
+
+    def proc():
+        yield env.timeout(1)
+        value = yield gate
+        log.append((env.now, value))
+
+    env.process(proc())
+    env.run()
+    assert log == [(1, "early")]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(12)
+    assert env.peek() == 12
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def proc():
+        yield "not an event"
+
+    env.process(proc())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_nested_processes_compose():
+    env = Environment()
+
+    def leaf(duration):
+        yield env.timeout(duration)
+        return duration
+
+    def mid():
+        first = yield env.process(leaf(2))
+        second = yield env.process(leaf(3))
+        return first + second
+
+    def root(results):
+        total = yield env.process(mid())
+        results.append((env.now, total))
+
+    results = []
+    env.process(root(results))
+    env.run()
+    assert results == [(5, 5)]

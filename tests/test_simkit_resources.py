@@ -1,0 +1,257 @@
+"""Unit tests for simkit shared-resource primitives."""
+
+import pytest
+
+from repro.simkit import (
+    Container,
+    Environment,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+def test_resource_serializes_users():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def user(name, hold):
+        with resource.request() as req:
+            yield req
+            log.append((name, "start", env.now))
+            yield env.timeout(hold)
+            log.append((name, "end", env.now))
+
+    env.process(user("a", 5))
+    env.process(user("b", 3))
+    env.run()
+    assert log == [
+        ("a", "start", 0),
+        ("a", "end", 5),
+        ("b", "start", 5),
+        ("b", "end", 8),
+    ]
+
+
+def test_resource_capacity_two_allows_parallelism():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    starts = []
+
+    def user(name):
+        with resource.request() as req:
+            yield req
+            starts.append((name, env.now))
+            yield env.timeout(4)
+
+    for name in "abc":
+        env.process(user(name))
+    env.run()
+    assert starts == [("a", 0), ("b", 0), ("c", 4)]
+
+
+def test_resource_fifo_queue_order():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    order = []
+
+    def user(name, arrive):
+        yield env.timeout(arrive)
+        with resource.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+
+    env.process(user("first", 1))
+    env.process(user("second", 2))
+    env.process(user("third", 3))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_unqueued_request_is_noop():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder():
+        req = resource.request()
+        yield req
+        resource.release(req)
+        resource.release(req)  # second release must not corrupt state
+
+    env.process(holder())
+    env.run()
+    assert resource.count == 0
+
+
+def test_priority_resource_orders_waiters():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(name, priority):
+        with resource.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    def spawn():
+        # Occupy the resource, then enqueue waiters with mixed priorities.
+        with resource.request(priority=0) as req:
+            yield req
+            env.process(user("low", 9))
+            env.process(user("high", 1))
+            env.process(user("mid", 5))
+            yield env.timeout(1)
+
+    env.process(spawn())
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_ties_broken_by_arrival_time():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(name, arrive):
+        yield env.timeout(arrive)
+        with resource.request(priority=3) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(10)
+
+    env.process(user("early", 1))
+    env.process(user("late", 2))
+    env.run()
+    assert order == ["early", "late"]
+
+
+def test_store_fifo_items():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append((env.now, item))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert [item for _, item in received] == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer():
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer():
+        yield env.timeout(6)
+        yield store.put("late-item")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [(6, "late-item")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put(1)
+        log.append(("put1", env.now))
+        yield store.put(2)
+        log.append(("put2", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("put1", 0), ("put2", 5)]
+
+
+def test_container_credit_semantics():
+    env = Environment()
+    credits = Container(env, capacity=2, init=2)
+    log = []
+
+    def worker(name):
+        yield credits.get(1)
+        log.append((name, "acquired", env.now))
+        yield env.timeout(3)
+        yield credits.put(1)
+
+    for name in ("a", "b", "c"):
+        env.process(worker(name))
+    env.run()
+    acquired = [(name, t) for name, _, t in log]
+    assert acquired == [("a", 0), ("b", 0), ("c", 3)]
+
+
+def test_container_rejects_bad_amounts():
+    env = Environment()
+    container = Container(env, capacity=5, init=0)
+    with pytest.raises(SimulationError):
+        container.put(0)
+    with pytest.raises(SimulationError):
+        container.get(-1)
+
+
+def test_container_level_tracks_puts_and_gets():
+    env = Environment()
+    container = Container(env, capacity=10, init=4)
+
+    def proc():
+        yield container.get(3)
+        assert container.level == 1
+        yield container.put(5)
+        assert container.level == 6
+
+    env.process(proc())
+    env.run()
+    assert container.level == 6
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    container = Container(env, capacity=2, init=2)
+    log = []
+
+    def putter():
+        yield container.put(1)
+        log.append(env.now)
+
+    def getter():
+        yield env.timeout(8)
+        yield container.get(1)
+
+    env.process(putter())
+    env.process(getter())
+    env.run()
+    assert log == [8]

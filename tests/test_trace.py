@@ -1,0 +1,77 @@
+"""Tests for the span/event trace recorder."""
+
+import pytest
+
+from repro.trace import Span, TraceRecorder
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span("compute.dense", 1.0, 3.5)
+        assert span.duration == 2.5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Span("compute.dense", 3.0, 1.0)
+
+
+class TestTraceRecorder:
+    def test_record_and_query_by_prefix(self):
+        trace = TraceRecorder()
+        trace.record("compute.dense", 0, 1, worker=0)
+        trace.record("compute.expert", 1, 2, worker=0)
+        trace.record("comm.a2a", 0, 5, block=1)
+        assert len(trace.spans_of("compute")) == 2
+        assert len(trace.spans_of("comm.a2a")) == 1
+
+    def test_total_time_sums_durations(self):
+        trace = TraceRecorder()
+        trace.record("comm.a2a", 0, 2)
+        trace.record("comm.a2a", 1, 4)  # overlapping
+        assert trace.total_time("comm.a2a") == 5
+
+    def test_busy_time_merges_overlaps(self):
+        trace = TraceRecorder()
+        trace.record("comm.a2a", 0, 2)
+        trace.record("comm.a2a", 1, 4)
+        trace.record("comm.a2a", 10, 12)
+        assert trace.busy_time("comm.a2a") == 6  # [0,4] + [10,12]
+
+    def test_busy_time_empty(self):
+        assert TraceRecorder().busy_time("comm") == 0
+
+    def test_busy_time_disjoint(self):
+        trace = TraceRecorder()
+        trace.record("x", 0, 1)
+        trace.record("x", 5, 6)
+        assert trace.busy_time("x") == 2
+
+    def test_mark_and_events_of(self):
+        trace = TraceRecorder()
+        trace.mark("expert_ready", 1.5, worker=0, expert=3)
+        trace.mark("block_complete", 2.0, worker=0, block=1)
+        events = trace.events_of("expert_ready")
+        assert len(events) == 1
+        assert events[0]["expert"] == 3
+
+    def test_block_completions_take_latest(self):
+        trace = TraceRecorder()
+        trace.mark("block_complete", 1.0, worker=0, block=0)
+        trace.mark("block_complete", 2.0, worker=1, block=0)
+        assert trace.block_completions() == {0: 2.0}
+        assert trace.block_completions(worker=0) == {0: 1.0}
+
+    def test_expert_arrivals_filter_by_worker(self):
+        trace = TraceRecorder()
+        trace.mark("expert_ready", 1.0, worker=0, expert=1)
+        trace.mark("expert_ready", 2.0, worker=1, expert=1)
+        assert len(trace.expert_arrivals()) == 2
+        assert len(trace.expert_arrivals(worker=1)) == 1
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record("x", 0, 1)
+        trace.mark("y", 0)
+        trace.clear()
+        assert not trace.spans
+        assert not trace.events

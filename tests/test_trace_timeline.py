@@ -1,0 +1,70 @@
+"""Tests for ASCII timeline rendering."""
+
+import pytest
+
+from repro.trace import TraceRecorder, render_block_gantt, render_timeline
+
+
+def sample_trace():
+    trace = TraceRecorder()
+    trace.record("compute.dense", 0.0, 0.4, worker=0, block=0)
+    trace.record("comm.a2a", 0.4, 0.8, block=0)
+    trace.record("compute.expert", 0.8, 1.0, worker=0, block=0)
+    trace.mark("expert_ready", 0.5, worker=0, expert=1)
+    trace.mark("block_complete", 1.0, worker=0, block=0)
+    return trace
+
+
+class TestRenderTimeline:
+    def test_contains_lane_glyphs(self):
+        text = render_timeline(sample_trace(), width=40)
+        assert "D" in text
+        assert "A" in text
+        assert "E" in text
+        assert "*" in text
+
+    def test_lane_order_and_labels(self):
+        text = render_timeline(sample_trace(), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("compute.dense")
+        assert lines[-2].startswith("events")
+        assert "ms" in lines[-1]
+
+    def test_rows_have_fixed_width(self):
+        text = render_timeline(sample_trace(), width=50)
+        rows = [line for line in text.splitlines() if "|" in line]
+        widths = {line.index("|", 10) - line.index("|") for line in rows}
+        # All bars span the same number of columns.
+        bar_lengths = {
+            len(line.split("|")[1]) for line in rows
+        }
+        assert bar_lengths == {50}
+
+    def test_worker_filter(self):
+        trace = TraceRecorder()
+        trace.record("compute.dense", 0, 1, worker=3)
+        text = render_timeline(trace, width=40, worker=0)
+        dense_row = text.splitlines()[0]
+        assert "D" not in dense_row
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_timeline(sample_trace(), width=5)
+
+    def test_empty_trace_renders(self):
+        text = render_timeline(TraceRecorder(), width=20)
+        assert "events" in text
+
+
+class TestRenderBlockGantt:
+    def test_bars_grow_with_completion_time(self):
+        trace = TraceRecorder()
+        trace.mark("block_complete", 0.2, worker=0, block=0)
+        trace.mark("block_complete", 1.0, worker=0, block=1)
+        text = render_block_gantt(trace, width=40)
+        lines = text.splitlines()
+        assert lines[0].count("=") < lines[1].count("=")
+        assert "0.20 ms" not in lines[1]
+
+    def test_empty_gantt(self):
+        assert "no block completions" in render_block_gantt(TraceRecorder())
