@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reports examples clean
+.PHONY: install test lint bench reports examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

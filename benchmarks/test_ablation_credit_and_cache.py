@@ -9,8 +9,6 @@
    cross-node traffic by (up to) the number of workers per machine.
 """
 
-import pytest
-
 from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster

@@ -11,8 +11,6 @@ both engines on MoE-GPT.
 """
 
 import numpy as np
-import pytest
-
 from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster

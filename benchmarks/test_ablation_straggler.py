@@ -18,8 +18,6 @@ movement needs no lockstep.  Two experiments separate the effects:
    Janus speedup widens with jitter.
 """
 
-import pytest
-
 from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster

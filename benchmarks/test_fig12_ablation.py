@@ -12,8 +12,6 @@ speedup; topology awareness and prefetch each add an incremental gain on
 top; every model lands in the 1.2x-2.1x band.
 """
 
-import pytest
-
 from engine_cache import MODEL_FACTORIES, run_model, write_report
 from repro.analysis import format_table
 

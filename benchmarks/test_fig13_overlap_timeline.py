@@ -11,8 +11,6 @@ This bench regenerates both sub-figures: per-block completion timestamps
 and per-expert arrival timestamps for one worker, plus the overlap.
 """
 
-import pytest
-
 from engine_cache import run_model, write_report
 from repro.analysis import format_table
 from repro.trace import render_block_gantt

@@ -10,8 +10,6 @@ here) beats the expert-centric baseline on every model by a factor in the
 paper's band.
 """
 
-import pytest
-
 from engine_cache import MODEL_FACTORIES, run_model, write_report
 from repro.analysis import format_speedup_bars, format_table
 from repro.core import gain_ratio

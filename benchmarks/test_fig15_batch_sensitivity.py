@@ -7,8 +7,6 @@ findings: iteration time grows with B for both systems, but Tutel
 computation, so Janus's speedup widens with batch size.
 """
 
-import pytest
-
 from engine_cache import run_model, write_report
 from repro.analysis import format_table
 

@@ -7,8 +7,6 @@ Tutel runs out of GPU memory on MoE-BERT at S=512 (the All-to-All token
 buffers exceed the A100's 80 GB) while Janus trains it fine.
 """
 
-import pytest
-
 from engine_cache import run_model, write_report
 from repro.analysis import format_table
 from repro.netsim import OutOfMemoryError

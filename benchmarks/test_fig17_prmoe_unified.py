@@ -9,8 +9,6 @@ reports 2.06x / 1.44x speedup over pure expert-centric on the 16-GPU /
 with n, Eq. 1).
 """
 
-import pytest
-
 from engine_cache import run_pr_moe, write_report
 from repro.analysis import format_table
 from repro.core import Paradigm

@@ -6,8 +6,6 @@ All-to-All occupies 38.5% - 68.4% of the iteration.  This bench regenerates
 the same bars from the timed expert-centric engine.
 """
 
-import pytest
-
 from engine_cache import MODEL_FACTORIES, run_model, write_report
 from repro.analysis import format_table
 

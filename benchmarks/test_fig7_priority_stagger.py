@@ -6,8 +6,6 @@ starts by pulling from worker 0, serializing on its egress port; Algorithm
 1's staggered order keeps exactly one puller per egress port at any time.
 """
 
-import pytest
-
 from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster, Device

@@ -6,8 +6,6 @@ switch uplink; with the peer scheme each pulls half over PCIe and the other
 half from its peer over NVLink, roughly halving the uplink load.
 """
 
-import pytest
-
 from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster, Device

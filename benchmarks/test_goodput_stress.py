@@ -7,8 +7,6 @@ fabric; the reproduced shape is the order-of-magnitude gap showing that
 inter-machine All-to-All leaves the intra-machine links mostly idle.
 """
 
-import pytest
-
 from engine_cache import write_report
 from repro.analysis import format_table
 from repro.netsim import measure_all_to_all_goodput

@@ -8,7 +8,7 @@ paradigm comparison carries over.
 
 import pytest
 
-from engine_cache import MODEL_FACTORIES, write_report
+from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster
 from repro.config import moe_gpt

@@ -31,7 +31,9 @@ from .config import (
     pr_moe_transformer_xl,
 )
 from .core import (
+    JanusFeatures,
     engine_for,
+    engine_modes,
     estimate_data_centric,
     estimate_expert_centric,
     profile_model,
@@ -44,6 +46,15 @@ MODEL_CHOICES = {
     "moe-gpt": moe_gpt,
     "moe-transformer-xl": moe_transformer_xl,
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
 
 
 def _resolve_model(args) -> ModelConfig:
@@ -109,8 +120,11 @@ def cmd_plan(args) -> int:
 def cmd_simulate(args) -> int:
     config = _resolve_model(args)
     cluster = Cluster(args.machines)
+    kwargs = {}
+    if args.chunks is not None:
+        kwargs["features"] = JanusFeatures(ec_pipeline_chunks=args.chunks)
     try:
-        engine = engine_for(args.paradigm, config, cluster)
+        engine = engine_for(args.paradigm, config, cluster, **kwargs)
         result = engine.run_iteration(forward_only=args.inference)
     except OutOfMemoryError as exc:
         print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
@@ -122,9 +136,9 @@ def cmd_simulate(args) -> int:
           f"({result.all_to_all_share:.0%})")
     print(f"  cross-node traffic:  {result.cross_node_gb_per_machine:.2f} "
           f"GB/machine")
-    print("  paradigm per block:  "
-          + ", ".join(f"{b}:{p.value.split('-')[0]}"
-                      for b, p in sorted(result.paradigms.items())))
+    print("  strategy per block:  "
+          + ", ".join(f"{b}:{name}"
+                      for b, name in sorted(result.strategies.items())))
     return 0
 
 
@@ -170,8 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(simulate)
     simulate.add_argument(
         "--paradigm",
-        choices=["expert-centric", "data-centric", "unified"],
+        choices=sorted(engine_modes()),
         default="unified",
+        help="block-execution strategy (from the strategy registry) or "
+             "the R-driven per-block 'unified' selector",
+    )
+    simulate.add_argument(
+        "--chunks", type=_positive_int, default=None,
+        help="pipelined-ec All-to-All chunk count "
+             "(JanusFeatures.ec_pipeline_chunks)",
     )
     simulate.add_argument("--inference", action="store_true",
                           help="forward-only pass (serving)")

@@ -56,7 +56,6 @@ class PullServer:
             env.process(self._serve(message))
 
     def _serve(self, request: PullRequest):
-        transport = self.transport
         if self._slots is not None:
             with self._slots.request() as slot:
                 yield slot

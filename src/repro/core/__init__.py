@@ -9,6 +9,7 @@ from .memory_model import (
     estimate_data_centric,
     estimate_expert_centric,
     estimate_mixed,
+    estimate_strategies,
 )
 from .paradigm import (
     BlockCommProfile,
@@ -27,19 +28,37 @@ from .priority import (
     pcie_peer_schedule,
     split_external_groups,
 )
+from .strategies import (
+    BlockStrategy,
+    DataCentricStrategy,
+    ExpertCentricStrategy,
+    PipelinedExpertCentricStrategy,
+    get_strategy,
+    register_strategy,
+    resolve_strategy_name,
+    strategy_names,
+)
 from .tensor_parallel import TensorParallelPlan, plan_tensor_parallel
 from .unified import (
     data_centric_engine,
     engine_for,
+    engine_modes,
     expert_centric_engine,
     paradigm_map,
+    pipelined_expert_centric_engine,
+    strategy_engine,
+    strategy_map,
     unified_engine,
 )
 from .workload import BlockWorkload, IterationWorkload, build_workload
 
 __all__ = [
     "BlockCommProfile",
+    "BlockStrategy",
     "BlockWorkload",
+    "DataCentricStrategy",
+    "ExpertCentricStrategy",
+    "PipelinedExpertCentricStrategy",
     "InterNodeScheduler",
     "IntraNodeScheduler",
     "IterationContext",
@@ -56,19 +75,28 @@ __all__ = [
     "comm_expert_centric",
     "data_centric_engine",
     "engine_for",
+    "engine_modes",
     "estimate_data_centric",
     "estimate_expert_centric",
     "estimate_mixed",
+    "estimate_strategies",
     "expert_centric_engine",
     "gain_ratio",
+    "get_strategy",
     "internal_pull_order",
     "internal_pull_priority",
     "paradigm_map",
     "pcie_peer_schedule",
+    "pipelined_expert_centric_engine",
     "plan_tensor_parallel",
     "profile_block",
     "profile_model",
+    "register_strategy",
+    "resolve_strategy_name",
     "select_paradigm",
     "split_external_groups",
+    "strategy_engine",
+    "strategy_map",
+    "strategy_names",
     "unified_engine",
 ]

@@ -44,10 +44,16 @@ class JanusFeatures:
     # machine-pair aggregation striped over NICs) vs the naive flat
     # per-GPU-pair decomposition.
     hierarchical_a2a: bool = True
+    # Pipelined expert-centric blocks: number of token chunks the dispatch
+    # and combine All-to-Alls are split into, so expert compute on chunk i
+    # overlaps the All-to-All of chunk i+1 (Parm/FlowMoE-style).
+    ec_pipeline_chunks: int = 4
 
     def __post_init__(self):
         if self.credit_size <= 0:
             raise ValueError("credit_size must be positive")
+        if self.ec_pipeline_chunks <= 0:
+            raise ValueError("ec_pipeline_chunks must be positive")
 
 
 class IterationContext:
@@ -61,9 +67,16 @@ class IterationContext:
         features: JanusFeatures,
         trace: TraceRecorder,
         dc_blocks=None,
+        strategy_blocks=None,
     ):
-        """``dc_blocks``: MoE block indices that run data-centric (and thus
-        need the schedulers).  Defaults to every MoE block."""
+        """``dc_blocks``: MoE block indices served by the Janus Task Queue
+        (and thus need the schedulers).  Defaults to every MoE block.
+
+        ``strategy_blocks``: optional mapping of block-strategy name to the
+        MoE block indices that strategy executes (see
+        :mod:`repro.core.strategies`).  When omitted it is derived from
+        ``dc_blocks``: task-queue blocks run ``"data-centric"``, the rest
+        ``"expert-centric"``."""
         self.env = env
         self.fabric = fabric
         self.workload = workload
@@ -88,6 +101,21 @@ class IterationContext:
         )
         if not set(self.dc_block_indices) <= set(moe_indices):
             raise ValueError("dc_blocks must be a subset of the MoE blocks")
+        if strategy_blocks is None:
+            strategy_blocks = {"data-centric": self.dc_block_indices}
+            rest = sorted(set(moe_indices) - set(self.dc_block_indices))
+            if rest:
+                strategy_blocks["expert-centric"] = rest
+        self.strategy_blocks = {
+            name: tuple(sorted(set(blocks)))
+            for name, blocks in strategy_blocks.items()
+        }
+        for name, blocks in self.strategy_blocks.items():
+            if not set(blocks) <= set(moe_indices):
+                raise ValueError(
+                    f"strategy {name!r} blocks must be a subset of the "
+                    "MoE blocks"
+                )
         world = layout.world_size
 
         # Worker r entered block b in each phase: gates non-prefetch fetching.
@@ -119,6 +147,12 @@ class IterationContext:
         }
 
         self.iteration_start = env.event()
+
+    # -- strategy helpers ------------------------------------------------------
+
+    def blocks_of(self, strategy_name: str) -> Tuple[int, ...]:
+        """MoE block indices executed by ``strategy_name`` (ascending)."""
+        return self.strategy_blocks.get(strategy_name, ())
 
     # -- routing helpers -------------------------------------------------------
 

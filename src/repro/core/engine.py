@@ -1,7 +1,9 @@
 """The timed MoE training engine.
 
-Simulates one training iteration of an MoE model on the cluster, executing
-each MoE block under either paradigm:
+Simulates one training iteration of an MoE model on the cluster.  Dense
+compute runs in the engine's worker processes; every MoE block is delegated
+to the pluggable :class:`~repro.core.strategies.BlockStrategy` named by the
+per-block strategy map.  The built-in strategies are:
 
 * **expert-centric** blocks are bulk-synchronous: all workers rendezvous,
   run the dispatch All-to-All, compute their resident experts on the
@@ -10,29 +12,29 @@ each MoE block under either paradigm:
 * **data-centric** blocks run through the Janus Task Queue: per-worker
   Intra-Node Schedulers pull experts (credit-gated, optionally staggered and
   peer-scheduled) while the per-machine Inter-Node Schedulers fetch external
-  experts into the cache, and workers compute each expert as it arrives.
+  experts into the cache, and workers compute each expert as it arrives;
+* **pipelined-ec** blocks split the All-to-Alls into token chunks so expert
+  compute overlaps communication (Parm/FlowMoE-style pipeline scheduling).
 
 The engine raises :class:`~repro.netsim.memory.OutOfMemoryError` when the
-paradigm's memory footprint exceeds GPU capacity (Fig. 16).
+strategy mix's memory footprint exceeds GPU capacity (Fig. 16).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from types import SimpleNamespace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cluster import Cluster, Device
-from ..netsim import Fabric, all_to_all
+from ..cluster import Cluster
+from ..netsim import Fabric
 from ..simkit import AllOf, Environment
 from ..trace import TraceRecorder
 from .context import IterationContext, JanusFeatures
-from .inter_scheduler import InterNodeScheduler
-from .intra_scheduler import IntraNodeScheduler
-from .memory_model import check_fits, estimate_mixed
+from .memory_model import check_fits, estimate_strategies
 from .paradigm import Paradigm
+from .strategies import get_strategy, resolve_strategy_name, strategy_names
 from .workload import IterationWorkload
 
 __all__ = ["IterationResult", "JanusEngine"]
@@ -47,8 +49,16 @@ class IterationResult:
     seconds: float
     trace: TraceRecorder
     nic_egress_bytes: np.ndarray       # per machine
-    paradigms: Dict[int, Paradigm]
-    features: JanusFeatures
+    strategies: Dict[int, str] = field(default_factory=dict)
+    features: JanusFeatures = field(default_factory=JanusFeatures)
+
+    @property
+    def paradigms(self) -> Dict[int, Paradigm]:
+        """Per-block strategy as :class:`Paradigm` members (legacy view;
+        only works while every block ran a strategy the enum names)."""
+        return {
+            block: Paradigm(name) for block, name in self.strategies.items()
+        }
 
     @property
     def all_to_all_seconds(self) -> float:
@@ -67,21 +77,26 @@ class IterationResult:
 
 
 class JanusEngine:
-    """Run simulated training iterations under a per-block paradigm map."""
+    """Run simulated training iterations under a per-block strategy map."""
 
     def __init__(
         self,
         cluster: Cluster,
         workload: IterationWorkload,
-        block_paradigms: Dict[int, Paradigm],
-        features: JanusFeatures = None,
+        block_strategies,
+        features: Optional[JanusFeatures] = None,
         check_memory: bool = True,
         trace_worker: int = 0,
         machine_speed: Optional[Dict[int, float]] = None,
         compute_jitter: float = 0.0,
         jitter_seed: int = 0,
     ):
-        """``machine_speed`` maps machine index -> relative compute speed
+        """``block_strategies`` maps every MoE block index to the strategy
+        that executes it: a registered strategy name, a
+        :class:`~repro.core.paradigm.Paradigm` member, or a
+        :class:`~repro.core.strategies.BlockStrategy` class.
+
+        ``machine_speed`` maps machine index -> relative compute speed
         (1.0 = nominal; 0.5 = a straggler at half speed).  Models the
         heterogeneous/straggling machines of §3.2: synchronous All-to-All
         is paced by the slowest participant, while data-centric pulls let
@@ -110,12 +125,23 @@ class JanusEngine:
         self.jitter_seed = jitter_seed
         self._jitter_rng = None
         moe_indices = {b.index for b in workload.moe_blocks()}
-        if set(block_paradigms) != moe_indices:
+        if set(block_strategies) != moe_indices:
             raise ValueError(
-                "block_paradigms must cover exactly the MoE blocks "
-                f"{sorted(moe_indices)}, got {sorted(block_paradigms)}"
+                "block_strategies must cover exactly the MoE blocks "
+                f"{sorted(moe_indices)}, got {sorted(block_strategies)}"
             )
-        self.block_paradigms = dict(block_paradigms)
+        self.block_strategies: Dict[int, str] = {
+            index: resolve_strategy_name(spec)
+            for index, spec in block_strategies.items()
+        }
+
+    @property
+    def block_paradigms(self) -> Dict[int, Paradigm]:
+        """Legacy view of the strategy map as :class:`Paradigm` members."""
+        return {
+            index: Paradigm(name)
+            for index, name in self.block_strategies.items()
+        }
 
     def _rank_flops(self, rank: int) -> float:
         """Effective FLOPs of the GPU hosting ``rank``, incl. stragglers."""
@@ -144,31 +170,52 @@ class JanusEngine:
         """
         if self.check_memory:
             self._check_memory()
-        import numpy as _np
-
-        self._jitter_rng = _np.random.default_rng(self.jitter_seed)
+        self._jitter_rng = np.random.default_rng(self.jitter_seed)
         env = Environment()
         fabric = Fabric(env, self.cluster)
         trace = TraceRecorder()
-        dc_blocks = {
-            b for b, p in self.block_paradigms.items()
-            if p is Paradigm.DATA_CENTRIC
+        strategy_blocks: Dict[str, List[int]] = {}
+        for index in sorted(self.block_strategies):
+            name = self.block_strategies[index]
+            strategy_blocks.setdefault(name, []).append(index)
+        # Instantiate in registration order: it fixes the relative spawn
+        # order of coordinator/scheduler processes (determinism).
+        strategies = {
+            name: get_strategy(name)(self, tuple(strategy_blocks[name]))
+            for name in strategy_names()
+            if name in strategy_blocks
         }
+        dc_blocks = sorted(
+            index
+            for name, strategy in strategies.items()
+            if strategy.uses_task_queue
+            for index in strategy.blocks
+        )
         ctx = IterationContext(
             env, fabric, self.workload, self.features, trace,
             dc_blocks=dc_blocks,
+            strategy_blocks={
+                name: strategy.blocks for name, strategy in strategies.items()
+            },
         )
-        ec_sync = self._build_ec_sync(ctx, forward_only)
+        for strategy in strategies.values():
+            strategy.setup(ctx, forward_only)
+        runner = {
+            index: strategies[name]
+            for index, name in self.block_strategies.items()
+        }
 
         worker_procs = [
-            env.process(self._worker(ctx, rank, ec_sync, forward_only))
+            env.process(self._worker(ctx, rank, runner, forward_only))
             for rank in range(self.workload.world_size)
         ]
-        self._spawn_coordinators(ctx, ec_sync)
-        self._spawn_schedulers(ctx, forward_only)
-        collector_procs = (
-            [] if forward_only else self._spawn_grad_collectors(ctx)
-        )
+        for strategy in strategies.values():
+            strategy.spawn_processes(ctx, forward_only)
+        collector_procs = [] if forward_only else [
+            proc
+            for strategy in strategies.values()
+            for proc in strategy.spawn_grad_collectors(ctx)
+        ]
 
         def driver():
             ctx.iteration_start.succeed()
@@ -188,7 +235,7 @@ class JanusEngine:
             seconds=env.now,
             trace=trace,
             nic_egress_bytes=egress,
-            paradigms=dict(self.block_paradigms),
+            strategies=dict(self.block_strategies),
             features=self.features,
         )
 
@@ -202,72 +249,22 @@ class JanusEngine:
     # -- setup helpers ----------------------------------------------------------------
 
     def _check_memory(self) -> None:
-        ec = sum(
-            1 for p in self.block_paradigms.values()
-            if p is Paradigm.EXPERT_CENTRIC
-        )
-        dc = len(self.block_paradigms) - ec
-        estimate = estimate_mixed(
+        counts: Dict[str, int] = {}
+        for name in self.block_strategies.values():
+            counts[name] = counts.get(name, 0) + 1
+        estimate = estimate_strategies(
             self.workload.config,
             self.workload.world_size,
-            ec_moe_blocks=ec,
-            dc_moe_blocks=dc,
+            counts,
             credit_size=self.features.credit_size,
+            pipeline_chunks=self.features.ec_pipeline_chunks,
         )
         check_fits(estimate, self.cluster.spec.gpu.memory_bytes)
-
-    def _build_ec_sync(self, ctx: IterationContext, forward_only: bool = False):
-        sync = {}
-        world = self.workload.world_size
-        phases = ("fwd",) if forward_only else ("fwd", "bwd")
-        for block_index, paradigm in self.block_paradigms.items():
-            if paradigm is not Paradigm.EXPERT_CENTRIC:
-                continue
-            for phase in phases:
-                sync[(phase, block_index)] = SimpleNamespace(
-                    arrive=[ctx.env.event() for _ in range(world)],
-                    computed=[ctx.env.event() for _ in range(world)],
-                    dispatch_done=ctx.env.event(),
-                    combine_done=ctx.env.event(),
-                )
-        return sync
-
-    def _spawn_coordinators(self, ctx: IterationContext, ec_sync) -> None:
-        for (phase, block_index) in ec_sync:
-            ctx.env.process(
-                self._ec_coordinator(ctx, ec_sync, block_index, phase)
-            )
-
-    def _spawn_schedulers(
-        self, ctx: IterationContext, forward_only: bool = False
-    ) -> None:
-        if not ctx.dc_block_indices:
-            return
-        phases = ("fwd",) if forward_only else ("fwd", "bwd")
-        for rank in range(self.workload.world_size):
-            scheduler = IntraNodeScheduler(ctx, rank)
-            for phase in phases:
-                ctx.env.process(scheduler.pull_pipeline(phase))
-        if ctx.features.hierarchical:
-            for machine in range(ctx.layout.num_machines):
-                inter = InterNodeScheduler(ctx, machine)
-                for chain in inter.fetch_pipelines():
-                    ctx.env.process(chain)
-
-    def _spawn_grad_collectors(self, ctx: IterationContext) -> List:
-        if not ctx.features.hierarchical or not ctx.dc_block_indices:
-            return []
-        processes = []
-        for machine in range(ctx.layout.num_machines):
-            inter = InterNodeScheduler(ctx, machine)
-            for collector in inter.grad_collectors():
-                processes.append(ctx.env.process(collector))
-        return processes
 
     # -- worker process ------------------------------------------------------------------
 
     def _worker(
-        self, ctx: IterationContext, rank: int, ec_sync,
+        self, ctx: IterationContext, rank: int, runner,
         forward_only: bool = False,
     ):
         yield ctx.iteration_start
@@ -292,10 +289,7 @@ class JanusEngine:
                     worker=rank, block=index, detail="fwd",
                 )
             if block.is_moe:
-                if self.block_paradigms[index] is Paradigm.EXPERT_CENTRIC:
-                    yield from self._ec_block(ctx, ec_sync, rank, index, "fwd")
-                else:
-                    yield from self._dc_block(ctx, rank, index, "fwd")
+                yield from runner[index].run_block(ctx, rank, index, "fwd")
             if record:
                 ctx.trace.mark(
                     "block_complete", ctx.env.now, worker=rank, block=index
@@ -309,164 +303,8 @@ class JanusEngine:
             index = block.index
             if block.is_moe:
                 ctx.block_entry[("bwd", index, rank)].succeed()
-                if self.block_paradigms[index] is Paradigm.EXPERT_CENTRIC:
-                    yield from self._ec_block(ctx, ec_sync, rank, index, "bwd")
-                else:
-                    yield from self._dc_block(ctx, rank, index, "bwd")
+                yield from runner[index].run_block(ctx, rank, index, "bwd")
             dense_seconds = self._jittered(
                 _BACKWARD * (block.dense_flops + block.ffn_flops) / gpu_flops
             )
             yield ctx.env.process(ctx.fabric.compute(gpu, dense_seconds))
-
-    # -- data-centric block ----------------------------------------------------------------
-
-    def _dc_block(self, ctx: IterationContext, rank: int, index: int, phase: str):
-        workload = self.workload
-        block = workload.blocks[index]
-        gpu = ctx.gpu_of[rank]
-        gpu_flops = self._rank_flops(rank)
-        backward = phase == "bwd"
-        mult = _BACKWARD if backward else 1.0
-        record = rank == self.trace_worker
-        routing = block.routing[rank]
-
-        overhead = self.cluster.spec.gpu.kernel_overhead
-
-        def expert_seconds(expert: int) -> float:
-            return self._jittered(
-                (routing[expert] * workload.expert_flops / gpu_flops + overhead)
-                * mult
-            )
-
-        # Resident experts first — they need no communication at all.
-        for expert in ctx.own_experts_with_tokens(index, rank):
-            start = ctx.env.now
-            yield ctx.env.process(ctx.fabric.compute(gpu, expert_seconds(expert)))
-            if record:
-                ctx.trace.record(
-                    "compute.expert", start, ctx.env.now,
-                    worker=rank, block=index, detail=f"{phase}:own:{expert}",
-                )
-
-        needed = ctx.needed_experts(index, rank)
-        store = ctx.ready_store(phase, index, rank)
-        for _ in range(len(needed)):
-            expert = yield store.get()
-            start = ctx.env.now
-            yield ctx.env.process(ctx.fabric.compute(gpu, expert_seconds(expert)))
-            if record:
-                ctx.trace.record(
-                    "compute.expert", start, ctx.env.now,
-                    worker=rank, block=index, detail=f"{phase}:{expert}",
-                )
-            ctx.credits[rank].put(1)
-            if not backward:
-                # Offload the used expert to host memory for backward reuse
-                # (asynchronous; does not block the pipeline).
-                ctx.fabric.transfer(
-                    gpu,
-                    Device.host(ctx.layout.machine_of(rank)),
-                    workload.expert_bytes,
-                    tag=("offload", index, rank, expert),
-                )
-            else:
-                self._push_gradient(ctx, rank, index, expert)
-
-    def _push_gradient(self, ctx: IterationContext, rank: int, index: int, expert: int):
-        workload = self.workload
-        placement = ctx.placements[index]
-        owner = placement.owner(expert)
-        machine = ctx.layout.machine_of(rank)
-        owner_machine = ctx.layout.machine_of(owner)
-        gpu = ctx.gpu_of[rank]
-        if owner_machine == machine:
-            flow = ctx.fabric.transfer(
-                gpu, ctx.gpu_of[owner], workload.expert_bytes,
-                tag=("grad-internal", index, rank, expert),
-            )
-            ctx.grad_delivered.append(flow.done)
-        elif ctx.features.hierarchical:
-            flow = ctx.fabric.transfer(
-                gpu, Device.host(machine), workload.expert_bytes,
-                tag=("grad-stage", index, rank, expert),
-            )
-            ctx.env.process(
-                _stage_grad(ctx, flow, index, machine, expert)
-            )
-        else:
-            flow = ctx.fabric.transfer(
-                gpu, ctx.gpu_of[owner], workload.expert_bytes,
-                tag=("grad-direct", index, rank, expert),
-            )
-            ctx.grad_delivered.append(flow.done)
-
-    # -- expert-centric block -----------------------------------------------------------------
-
-    def _ec_block(self, ctx, ec_sync, rank: int, index: int, phase: str):
-        sync = ec_sync[(phase, index)]
-        workload = self.workload
-        block = workload.blocks[index]
-        placement = ctx.placements[index]
-        gpu_flops = self._rank_flops(rank)
-        mult = _BACKWARD if phase == "bwd" else 1.0
-
-        sync.arrive[rank].succeed()
-        yield sync.dispatch_done
-        received = sum(
-            int(block.routing[:, expert].sum())
-            for expert in placement.experts_of(rank)
-        )
-        # One batched GEMM group per resident expert: the expert-centric
-        # paradigm pays far fewer kernel launches than fine-grained pulls.
-        overhead = (
-            self.cluster.spec.gpu.kernel_overhead
-            * placement.experts_per_worker
-        )
-        seconds = self._jittered(
-            (received * workload.expert_flops / gpu_flops + overhead) * mult
-        )
-        start = ctx.env.now
-        yield ctx.env.process(ctx.fabric.compute(ctx.gpu_of[rank], seconds))
-        if rank == self.trace_worker:
-            ctx.trace.record(
-                "compute.expert", start, ctx.env.now,
-                worker=rank, block=index, detail=f"{phase}:ec",
-            )
-        sync.computed[rank].succeed()
-        yield sync.combine_done
-
-    def _ec_coordinator(self, ctx, ec_sync, index: int, phase: str):
-        sync = ec_sync[(phase, index)]
-        workload = self.workload
-        block = workload.blocks[index]
-        placement = ctx.placements[index]
-        dispatch = block.tokens_sent_matrix(placement, workload.token_bytes)
-        combine = dispatch.T
-
-        yield AllOf(ctx.env, sync.arrive)
-        start = ctx.env.now
-        yield all_to_all(
-            ctx.fabric, dispatch,
-            hierarchical=self.features.hierarchical_a2a,
-        )
-        ctx.trace.record(
-            "comm.a2a", start, ctx.env.now,
-            block=index, detail=f"{phase}-dispatch",
-        )
-        sync.dispatch_done.succeed()
-        yield AllOf(ctx.env, sync.computed)
-        start = ctx.env.now
-        yield all_to_all(
-            ctx.fabric, combine,
-            hierarchical=self.features.hierarchical_a2a,
-        )
-        ctx.trace.record(
-            "comm.a2a", start, ctx.env.now,
-            block=index, detail=f"{phase}-combine",
-        )
-        sync.combine_done.succeed()
-
-
-def _stage_grad(ctx, flow, index: int, machine: int, expert: int):
-    yield flow.done
-    yield ctx.grad_contrib_store(index, machine, expert).put(1)

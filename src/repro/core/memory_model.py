@@ -28,10 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import ModelConfig
-from ..netsim.memory import MemoryTracker, OutOfMemoryError
+from ..netsim.memory import MemoryTracker
 
 __all__ = [
     "MemoryEstimate",
+    "estimate_strategies",
     "estimate_expert_centric",
     "estimate_data_centric",
     "check_fits",
@@ -103,6 +104,41 @@ def _base_terms(config: ModelConfig, world_size: int):
     return weights, activations, moe_stash, routed_payload
 
 
+def estimate_strategies(
+    config: ModelConfig,
+    world_size: int,
+    block_counts,
+    credit_size: int = 2,
+    pipeline_chunks: int = 4,
+) -> MemoryEstimate:
+    """Estimate for an arbitrary per-strategy split of the MoE blocks.
+
+    ``block_counts`` maps block-strategy names (see
+    :mod:`repro.core.strategies`) to how many MoE blocks run under each;
+    the counts must cover every MoE block.  Each strategy contributes its
+    own ``paradigm_extra`` terms, summed in strategy-registration order so
+    the result is bit-stable.
+    """
+    from .strategies import get_strategy, strategy_names
+
+    if sum(block_counts.values()) != config.num_moe_blocks:
+        raise ValueError("block counts must cover every MoE block")
+    unknown = set(block_counts) - set(strategy_names())
+    if unknown:
+        get_strategy(sorted(unknown)[0])  # raises with the known names
+    weights, activations, moe_stash, _ = _base_terms(config, world_size)
+    extra = 0.0
+    for name in strategy_names():
+        if name not in block_counts:
+            continue
+        terms = get_strategy(name).memory_terms(
+            config, block_counts[name], credit_size, pipeline_chunks
+        )
+        for term in terms:
+            extra += term
+    return MemoryEstimate(weights, activations, moe_stash, extra)
+
+
 def estimate_mixed(
     config: ModelConfig,
     world_size: int,
@@ -112,14 +148,12 @@ def estimate_mixed(
 ) -> MemoryEstimate:
     """Estimate when some MoE blocks run expert-centric and some
     data-centric (the unified engine, §7.5)."""
-    if ec_moe_blocks + dc_moe_blocks != config.num_moe_blocks:
-        raise ValueError("block counts must cover every MoE block")
-    weights, activations, moe_stash, routed = _base_terms(config, world_size)
-    extra = EC_A2A_SLACK * 2.0 * routed * ec_moe_blocks
-    if dc_moe_blocks:
-        extra += credit_size * config.expert_bytes
-        extra += config.ffn_mult * config.tokens_per_worker * config.token_bytes
-    return MemoryEstimate(weights, activations, moe_stash, extra)
+    return estimate_strategies(
+        config,
+        world_size,
+        {"expert-centric": ec_moe_blocks, "data-centric": dc_moe_blocks},
+        credit_size=credit_size,
+    )
 
 
 def estimate_expert_centric(

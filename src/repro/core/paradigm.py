@@ -35,10 +35,19 @@ __all__ = [
 
 
 class Paradigm(Enum):
-    """Which communication paradigm executes one MoE block."""
+    """Which communication paradigm executes one MoE block.
+
+    Values double as block-strategy registry names (see
+    :mod:`repro.core.strategies`); the engine resolves execution through
+    that registry, so strategies beyond this enum can be plugged in.  The
+    §5.1.3 communication analysis below only distinguishes the two
+    paradigm *families*: pipelined expert-centric moves exactly the
+    expert-centric byte volume, just scheduled in overlapping chunks.
+    """
 
     EXPERT_CENTRIC = "expert-centric"
     DATA_CENTRIC = "data-centric"
+    PIPELINED_EXPERT_CENTRIC = "pipelined-ec"
 
 
 def comm_data_centric(

@@ -1,0 +1,39 @@
+"""Pluggable block-execution strategies for the timed Janus engine.
+
+Importing this package registers the built-in strategies:
+
+* ``expert-centric`` — bulk-synchronous All-to-All (Tutel baseline);
+* ``data-centric``   — Janus Task Queue expert pulls;
+* ``pipelined-ec``   — expert-centric with K-chunked All-to-All overlapped
+  with expert compute (Parm/FlowMoE-style pipeline scheduling).
+
+New paradigms subclass :class:`BlockStrategy` and register with
+``@register_strategy``; the engine, the unified selector and the CLI pick
+them up by name.
+"""
+
+from .base import (
+    BlockStrategy,
+    get_strategy,
+    register_strategy,
+    resolve_strategy_name,
+    strategy_names,
+)
+# Import order fixes registration order, which in turn fixes the engine's
+# coordinator/scheduler spawn order and the memory-estimate term order:
+# expert-centric coordinators spawn before data-centric schedulers, exactly
+# as the pre-strategy engine did (bit-identical timings).
+from .expert_centric import ExpertCentricStrategy
+from .data_centric import DataCentricStrategy
+from .pipelined import PipelinedExpertCentricStrategy
+
+__all__ = [
+    "BlockStrategy",
+    "DataCentricStrategy",
+    "ExpertCentricStrategy",
+    "PipelinedExpertCentricStrategy",
+    "get_strategy",
+    "register_strategy",
+    "resolve_strategy_name",
+    "strategy_names",
+]

@@ -1,0 +1,156 @@
+"""Data-centric block execution: the Janus Task Queue pull pipeline.
+
+Blocks run through per-worker Intra-Node Schedulers pulling experts
+(credit-gated, optionally staggered and peer-scheduled) while per-machine
+Inter-Node Schedulers fetch external experts into the cache; workers
+compute each expert as it arrives and push gradients home in the backward
+sweep (pre-reduced per machine when the hierarchical cache is on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...cluster import Device
+from ..inter_scheduler import InterNodeScheduler
+from ..intra_scheduler import IntraNodeScheduler
+from .base import BlockStrategy, register_strategy
+
+__all__ = ["DataCentricStrategy"]
+
+_BACKWARD = 2.0
+
+
+@register_strategy
+class DataCentricStrategy(BlockStrategy):
+    """Fine-grained expert pulls through the Janus Task Queue (§4, §5)."""
+
+    name = "data-centric"
+    uses_task_queue = True
+
+    def spawn_processes(self, ctx, forward_only: bool) -> None:
+        if not ctx.dc_block_indices:
+            return
+        phases = ("fwd",) if forward_only else ("fwd", "bwd")
+        for rank in range(self.engine.workload.world_size):
+            scheduler = IntraNodeScheduler(ctx, rank)
+            for phase in phases:
+                ctx.env.process(scheduler.pull_pipeline(phase))
+        if ctx.features.hierarchical:
+            for machine in range(ctx.layout.num_machines):
+                inter = InterNodeScheduler(ctx, machine)
+                for chain in inter.fetch_pipelines():
+                    ctx.env.process(chain)
+
+    def spawn_grad_collectors(self, ctx) -> List:
+        if not ctx.features.hierarchical or not ctx.dc_block_indices:
+            return []
+        processes = []
+        for machine in range(ctx.layout.num_machines):
+            inter = InterNodeScheduler(ctx, machine)
+            for collector in inter.grad_collectors():
+                processes.append(ctx.env.process(collector))
+        return processes
+
+    def run_block(self, ctx, rank: int, index: int, phase: str):
+        engine = self.engine
+        workload = engine.workload
+        block = workload.blocks[index]
+        gpu = ctx.gpu_of[rank]
+        gpu_flops = engine._rank_flops(rank)
+        backward = phase == "bwd"
+        mult = _BACKWARD if backward else 1.0
+        record = rank == engine.trace_worker
+        routing = block.routing[rank]
+
+        overhead = engine.cluster.spec.gpu.kernel_overhead
+
+        def expert_seconds(expert: int) -> float:
+            return engine._jittered(
+                (routing[expert] * workload.expert_flops / gpu_flops + overhead)
+                * mult
+            )
+
+        # Resident experts first — they need no communication at all.
+        for expert in ctx.own_experts_with_tokens(index, rank):
+            start = ctx.env.now
+            yield ctx.env.process(
+                ctx.fabric.compute(gpu, expert_seconds(expert))
+            )
+            if record:
+                ctx.trace.record(
+                    "compute.expert", start, ctx.env.now,
+                    worker=rank, block=index, detail=f"{phase}:own:{expert}",
+                )
+
+        needed = ctx.needed_experts(index, rank)
+        store = ctx.ready_store(phase, index, rank)
+        for _ in range(len(needed)):
+            expert = yield store.get()
+            start = ctx.env.now
+            yield ctx.env.process(
+                ctx.fabric.compute(gpu, expert_seconds(expert))
+            )
+            if record:
+                ctx.trace.record(
+                    "compute.expert", start, ctx.env.now,
+                    worker=rank, block=index, detail=f"{phase}:{expert}",
+                )
+            ctx.credits[rank].put(1)
+            if not backward:
+                # Offload the used expert to host memory for backward reuse
+                # (asynchronous; does not block the pipeline).
+                ctx.fabric.transfer(
+                    gpu,
+                    Device.host(ctx.layout.machine_of(rank)),
+                    workload.expert_bytes,
+                    tag=("offload", index, rank, expert),
+                )
+            else:
+                self._push_gradient(ctx, rank, index, expert)
+
+    def _push_gradient(self, ctx, rank: int, index: int, expert: int):
+        workload = self.engine.workload
+        placement = ctx.placements[index]
+        owner = placement.owner(expert)
+        machine = ctx.layout.machine_of(rank)
+        owner_machine = ctx.layout.machine_of(owner)
+        gpu = ctx.gpu_of[rank]
+        if owner_machine == machine:
+            flow = ctx.fabric.transfer(
+                gpu, ctx.gpu_of[owner], workload.expert_bytes,
+                tag=("grad-internal", index, rank, expert),
+            )
+            ctx.grad_delivered.append(flow.done)
+        elif ctx.features.hierarchical:
+            flow = ctx.fabric.transfer(
+                gpu, Device.host(machine), workload.expert_bytes,
+                tag=("grad-stage", index, rank, expert),
+            )
+            ctx.env.process(
+                _stage_grad(ctx, flow, index, machine, expert)
+            )
+        else:
+            flow = ctx.fabric.transfer(
+                gpu, ctx.gpu_of[owner], workload.expert_bytes,
+                tag=("grad-direct", index, rank, expert),
+            )
+            ctx.grad_delivered.append(flow.done)
+
+    @classmethod
+    def memory_terms(
+        cls, config, num_blocks: int, credit_size: int, pipeline_chunks: int,
+    ) -> Tuple[float, ...]:
+        """The credit buffer (C experts) plus one expert's activations —
+        independent of sequence length (§5.1.1)."""
+        if not num_blocks:
+            return ()
+        return (
+            credit_size * config.expert_bytes,
+            config.ffn_mult * config.tokens_per_worker * config.token_bytes,
+        )
+
+
+def _stage_grad(ctx, flow, index: int, machine: int, expert: int):
+    yield flow.done
+    yield ctx.grad_contrib_store(index, machine, expert).put(1)

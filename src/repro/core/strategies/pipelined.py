@@ -1,0 +1,161 @@
+"""Pipelined expert-centric execution: chunked All-to-All overlap.
+
+Parm/FlowMoE-style pipeline scheduling for blocks where the data-centric
+paradigm loses (R < 1) but the plain expert-centric block still serializes
+communication and compute.  The dispatch and combine All-to-Alls are split
+into K token chunks so that expert compute on chunk ``i`` overlaps the
+dispatch All-to-All of chunk ``i+1`` and the combine All-to-All of chunk
+``i-1``:
+
+    plain EC:   [dispatch A2A][ expert compute ][combine A2A]
+    pipelined:  [dA2A 0][dA2A 1][dA2A 2]...
+                        [cmp 0] [cmp 1] [cmp 2]...
+                                [cA2A 0][cA2A 1][cA2A 2]...
+
+The block-level barrier semantics are unchanged — workers still leave the
+block only after the last combine chunk lands — so the result is
+numerically the same iteration, just with hidden communication time.  The
+price is K× the kernel-launch overhead (every chunk re-launches each
+resident expert's batched GEMM), which is why very large K loses again.
+
+The chunk count is ``JanusFeatures.ec_pipeline_chunks``.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Tuple
+
+from ...netsim import all_to_all
+from ...simkit import AllOf
+from ..memory_model import EC_A2A_SLACK
+from .base import BlockStrategy, register_strategy
+
+__all__ = ["PipelinedExpertCentricStrategy"]
+
+_BACKWARD = 2.0
+
+
+@register_strategy
+class PipelinedExpertCentricStrategy(BlockStrategy):
+    """Expert-centric with K-chunked, compute-overlapped All-to-All."""
+
+    name = "pipelined-ec"
+
+    def setup(self, ctx, forward_only: bool) -> None:
+        self._sync = {}
+        world = self.engine.workload.world_size
+        chunks = self.engine.features.ec_pipeline_chunks
+        phases = ("fwd",) if forward_only else ("fwd", "bwd")
+        for index in self.blocks:
+            for phase in phases:
+                self._sync[(phase, index)] = SimpleNamespace(
+                    arrive=[ctx.env.event() for _ in range(world)],
+                    chunk_dispatched=[
+                        ctx.env.event() for _ in range(chunks)
+                    ],
+                    chunk_computed=[
+                        [ctx.env.event() for _ in range(world)]
+                        for _ in range(chunks)
+                    ],
+                    combine_done=ctx.env.event(),
+                )
+
+    def spawn_processes(self, ctx, forward_only: bool) -> None:
+        for (phase, index) in self._sync:
+            ctx.env.process(self._dispatcher(ctx, index, phase))
+            ctx.env.process(self._combiner(ctx, index, phase))
+
+    def run_block(self, ctx, rank: int, index: int, phase: str):
+        engine = self.engine
+        sync = self._sync[(phase, index)]
+        workload = engine.workload
+        block = workload.blocks[index]
+        placement = ctx.placements[index]
+        gpu_flops = engine._rank_flops(rank)
+        mult = _BACKWARD if phase == "bwd" else 1.0
+        chunks = engine.features.ec_pipeline_chunks
+
+        sync.arrive[rank].succeed()
+        received = sum(
+            int(block.routing[:, expert].sum())
+            for expert in placement.experts_of(rank)
+        )
+        # Every chunk re-launches one batched GEMM group per resident
+        # expert — the kernel-overhead cost of pipelining.
+        overhead = (
+            engine.cluster.spec.gpu.kernel_overhead
+            * placement.experts_per_worker
+        )
+        for chunk in range(chunks):
+            yield sync.chunk_dispatched[chunk]
+            seconds = engine._jittered(
+                (received / chunks * workload.expert_flops / gpu_flops
+                 + overhead) * mult
+            )
+            start = ctx.env.now
+            yield ctx.env.process(
+                ctx.fabric.compute(ctx.gpu_of[rank], seconds)
+            )
+            if rank == engine.trace_worker:
+                ctx.trace.record(
+                    "compute.expert", start, ctx.env.now,
+                    worker=rank, block=index,
+                    detail=f"{phase}:pec:{chunk}",
+                )
+            sync.chunk_computed[chunk][rank].succeed()
+        yield sync.combine_done
+
+    # -- coordinators ----------------------------------------------------------
+
+    def _chunk_matrix(self, ctx, index: int):
+        workload = self.engine.workload
+        block = workload.blocks[index]
+        placement = ctx.placements[index]
+        dispatch = block.tokens_sent_matrix(placement, workload.token_bytes)
+        return dispatch / self.engine.features.ec_pipeline_chunks
+
+    def _dispatcher(self, ctx, index: int, phase: str):
+        engine = self.engine
+        sync = self._sync[(phase, index)]
+        chunk = self._chunk_matrix(ctx, index)
+        yield AllOf(ctx.env, sync.arrive)
+        for i in range(engine.features.ec_pipeline_chunks):
+            start = ctx.env.now
+            yield all_to_all(
+                ctx.fabric, chunk,
+                hierarchical=engine.features.hierarchical_a2a,
+            )
+            ctx.trace.record(
+                "comm.a2a", start, ctx.env.now,
+                block=index, detail=f"{phase}-dispatch:{i}",
+            )
+            sync.chunk_dispatched[i].succeed()
+
+    def _combiner(self, ctx, index: int, phase: str):
+        engine = self.engine
+        sync = self._sync[(phase, index)]
+        chunk = self._chunk_matrix(ctx, index).T
+        for i in range(engine.features.ec_pipeline_chunks):
+            yield AllOf(ctx.env, sync.chunk_computed[i])
+            start = ctx.env.now
+            yield all_to_all(
+                ctx.fabric, chunk,
+                hierarchical=engine.features.hierarchical_a2a,
+            )
+            ctx.trace.record(
+                "comm.a2a", start, ctx.env.now,
+                block=index, detail=f"{phase}-combine:{i}",
+            )
+        sync.combine_done.succeed()
+
+    @classmethod
+    def memory_terms(
+        cls, config, num_blocks: int, credit_size: int, pipeline_chunks: int,
+    ) -> Tuple[float, ...]:
+        """Chunking shrinks the transient dispatch/combine working buffers
+        to 1/K of the token payload; the copies autograd retains for the
+        backward stay full-sized."""
+        routed = config.tokens_per_worker * config.token_bytes
+        slack = (EC_A2A_SLACK - 2.0) + 2.0 / pipeline_chunks
+        return (slack * 2.0 * routed * num_blocks,)

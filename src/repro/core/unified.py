@@ -1,14 +1,21 @@
-"""Unified Janus: per-block paradigm selection (§5.1.3 "Discussion", §7.5).
+"""Unified Janus: per-block strategy selection (§5.1.3 "Discussion", §7.5).
 
 Janus evaluates the gain ratio R for every MoE block before training starts
-and runs blocks with R > 1 data-centric and the rest expert-centric.  This
-module provides the selection plus convenience constructors for the three
-engine flavours compared in the paper:
+and runs blocks with R > 1 data-centric and the rest expert-centric.  The
+selector is generalized over the block-strategy registry
+(:mod:`repro.core.strategies`): the two sides of the R cut-over are
+pluggable strategy names, so e.g. low-R blocks can run ``pipelined-ec``
+instead of the plain synchronous All-to-All.  This module provides the
+selection plus convenience constructors for the engine flavours compared in
+the paper:
 
 * ``expert_centric_engine`` — every MoE block uses All-to-All (the Tutel
   baseline and the "expert-centric paradigm in Janus" ablation baseline);
 * ``data_centric_engine``   — every MoE block pulls experts;
-* ``unified_engine``        — per-block choice by R (full Janus).
+* ``pipelined_expert_centric_engine`` — every MoE block uses the chunked,
+  compute-overlapped All-to-All;
+* ``unified_engine``        — per-block choice by R (full Janus);
+* ``strategy_engine``       — every MoE block under any registered strategy.
 """
 
 from __future__ import annotations
@@ -22,29 +29,44 @@ from ..config import ModelConfig
 from .context import JanusFeatures
 from .engine import JanusEngine
 from .paradigm import Paradigm
+from .strategies import resolve_strategy_name, strategy_names
 from .workload import IterationWorkload, build_workload
 
 __all__ = [
     "paradigm_map",
+    "strategy_map",
     "unified_engine",
     "expert_centric_engine",
     "data_centric_engine",
+    "pipelined_expert_centric_engine",
+    "strategy_engine",
     "engine_for",
+    "engine_modes",
 ]
 
 
-def paradigm_map(
-    config: ModelConfig, cluster: Cluster, threshold: float = 1.0
-) -> Dict[int, Paradigm]:
-    """Per-MoE-block paradigm choice by the R metric (Eq. 1).
+def strategy_map(
+    config: ModelConfig,
+    cluster: Cluster,
+    threshold: float = 1.0,
+    low_r_strategy: str = "expert-centric",
+    high_r_strategy: str = "data-centric",
+) -> Dict[int, str]:
+    """Per-MoE-block strategy choice by the R metric (Eq. 1).
 
     ``threshold`` is the conservative cut-over of §7.5: blocks with
-    R <= threshold run expert-centric (the paper raises it above 1 when the
-    deployed data-centric path cannot reach the analytic bound, e.g. PCIe
-    capping cache-fill bandwidth).
+    R <= threshold run ``low_r_strategy`` (the paper raises it above 1 when
+    the deployed data-centric path cannot reach the analytic bound, e.g.
+    PCIe capping cache-fill bandwidth).  Both sides are registered
+    block-strategy names, so the selector chooses among N pluggable
+    strategies, not a binary enum.
     """
-    from .paradigm import gain_ratio, select_paradigm
+    from .paradigm import gain_ratio
 
+    low = resolve_strategy_name(low_r_strategy)
+    high = resolve_strategy_name(high_r_strategy)
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
     mapping = {}
     world = cluster.num_machines * cluster.gpus_per_machine
     for index in config.moe_block_indices:
@@ -56,8 +78,20 @@ def paradigm_map(
             config.hidden_dim,
             config.experts_per_worker(index, world),
         )
-        mapping[index] = select_paradigm(ratio, threshold=threshold)
+        mapping[index] = high if ratio > threshold else low
     return mapping
+
+
+def paradigm_map(
+    config: ModelConfig, cluster: Cluster, threshold: float = 1.0
+) -> Dict[int, Paradigm]:
+    """Legacy view of :func:`strategy_map` as :class:`Paradigm` members."""
+    return {
+        index: Paradigm(name)
+        for index, name in strategy_map(
+            config, cluster, threshold=threshold
+        ).items()
+    }
 
 
 def _workload(
@@ -81,66 +115,68 @@ def unified_engine(
     rng: Optional[np.random.Generator] = None,
     check_memory: bool = True,
     threshold: float = 1.0,
+    low_r_strategy: str = "expert-centric",
+    high_r_strategy: str = "data-centric",
 ) -> JanusEngine:
-    """Full Janus: per-block paradigm by R (see :func:`paradigm_map`)."""
+    """Full Janus: per-block strategy by R (see :func:`strategy_map`)."""
     return JanusEngine(
         cluster,
         _workload(config, cluster, workload, imbalance, rng),
-        paradigm_map(config, cluster, threshold=threshold),
+        strategy_map(
+            config, cluster, threshold=threshold,
+            low_r_strategy=low_r_strategy, high_r_strategy=high_r_strategy,
+        ),
         features=features,
         check_memory=check_memory,
     )
 
 
-def _uniform_engine(
-    paradigm: Paradigm,
+def strategy_engine(
+    strategy: str,
     config: ModelConfig,
     cluster: Cluster,
-    features: Optional[JanusFeatures],
-    workload: Optional[IterationWorkload],
-    imbalance: float,
-    rng: Optional[np.random.Generator],
-    check_memory: bool,
+    features: Optional[JanusFeatures] = None,
+    workload: Optional[IterationWorkload] = None,
+    imbalance: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    check_memory: bool = True,
 ) -> JanusEngine:
+    """Every MoE block under one registered block strategy."""
+    name = resolve_strategy_name(strategy)
     return JanusEngine(
         cluster,
         _workload(config, cluster, workload, imbalance, rng),
-        {index: paradigm for index in config.moe_block_indices},
+        {index: name for index in config.moe_block_indices},
         features=features,
         check_memory=check_memory,
     )
 
 
 def expert_centric_engine(
-    config: ModelConfig,
-    cluster: Cluster,
-    features: Optional[JanusFeatures] = None,
-    workload: Optional[IterationWorkload] = None,
-    imbalance: float = 0.0,
-    rng: Optional[np.random.Generator] = None,
-    check_memory: bool = True,
+    config: ModelConfig, cluster: Cluster, **kwargs
 ) -> JanusEngine:
     """Every MoE block over All-to-All (Tutel-equivalent baseline)."""
-    return _uniform_engine(
-        Paradigm.EXPERT_CENTRIC, config, cluster, features, workload,
-        imbalance, rng, check_memory,
-    )
+    return strategy_engine("expert-centric", config, cluster, **kwargs)
 
 
 def data_centric_engine(
-    config: ModelConfig,
-    cluster: Cluster,
-    features: Optional[JanusFeatures] = None,
-    workload: Optional[IterationWorkload] = None,
-    imbalance: float = 0.0,
-    rng: Optional[np.random.Generator] = None,
-    check_memory: bool = True,
+    config: ModelConfig, cluster: Cluster, **kwargs
 ) -> JanusEngine:
     """Every MoE block pulls experts (pure data-centric)."""
-    return _uniform_engine(
-        Paradigm.DATA_CENTRIC, config, cluster, features, workload,
-        imbalance, rng, check_memory,
-    )
+    return strategy_engine("data-centric", config, cluster, **kwargs)
+
+
+def pipelined_expert_centric_engine(
+    config: ModelConfig, cluster: Cluster, **kwargs
+) -> JanusEngine:
+    """Every MoE block over chunked, compute-overlapped All-to-All."""
+    return strategy_engine("pipelined-ec", config, cluster, **kwargs)
+
+
+def engine_modes() -> tuple:
+    """Mode names accepted by :func:`engine_for` (and the CLI): every
+    registered block strategy plus the R-driven ``"unified"`` selector."""
+    return tuple(strategy_names()) + ("unified",)
 
 
 def engine_for(
@@ -149,15 +185,11 @@ def engine_for(
     cluster: Cluster,
     **kwargs,
 ) -> JanusEngine:
-    """Engine factory by mode name: "expert-centric", "data-centric",
-    or "unified"."""
-    factories = {
-        "expert-centric": expert_centric_engine,
-        "data-centric": data_centric_engine,
-        "unified": unified_engine,
-    }
-    if mode not in factories:
-        raise ValueError(
-            f"unknown mode {mode!r}; expected one of {sorted(factories)}"
-        )
-    return factories[mode](config, cluster, **kwargs)
+    """Engine factory by mode name (see :func:`engine_modes`)."""
+    if mode == "unified":
+        return unified_engine(config, cluster, **kwargs)
+    if mode in strategy_names():
+        return strategy_engine(mode, config, cluster, **kwargs)
+    raise ValueError(
+        f"unknown mode {mode!r}; expected one of {sorted(engine_modes())}"
+    )

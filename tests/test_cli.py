@@ -28,6 +28,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--paradigm", "magic"])
 
+    def test_simulate_accepts_registered_strategies(self):
+        """The --paradigm choices come from the strategy registry."""
+        args = build_parser().parse_args(
+            ["simulate", "--paradigm", "pipelined-ec"]
+        )
+        assert args.paradigm == "pipelined-ec"
+
+    def test_simulate_chunks_flag(self):
+        args = build_parser().parse_args(["simulate", "--chunks", "8"])
+        assert args.chunks == 8
+        assert build_parser().parse_args(["simulate"]).chunks is None
+
+    def test_simulate_chunks_must_be_positive(self):
+        for bad in ("0", "-4", "abc"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["simulate", "--chunks", bad])
+
 
 class TestCommands:
     def test_plan_prints_r_and_memory(self, capsys):
@@ -71,6 +88,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "ms per training iteration" in out
         assert "All-to-All" in out
+
+    def test_simulate_reports_strategy_per_block(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "unified",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strategy per block" in out
+
+    def test_simulate_pipelined_ec_with_chunks(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "pipelined-ec",
+            "--chunks", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined-ec" in out
+        assert "ms per training iteration" in out
 
     def test_simulate_inference_flag(self, capsys):
         assert main([

@@ -1,6 +1,5 @@
 """Tests for the topology-aware priority strategies (§5.2)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,6 +1,5 @@
 """Unit tests for the Task Queue schedulers against a hand-built context."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import Cluster, MachineSpec

@@ -1,10 +1,7 @@
 """Smoke tests: the fast example scripts run end to end."""
 
 import runpy
-import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
 

@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import Cluster, MachineSpec
 from repro.config import ModelConfig
 from repro.core import (
-    build_workload,
     data_centric_engine,
     expert_centric_engine,
 )

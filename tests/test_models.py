@@ -6,7 +6,6 @@ import pytest
 from repro.config import ModelConfig
 from repro.models import (
     Expert,
-    FeedForward,
     MoELayer,
     MoETransformer,
     MultiHeadAttention,

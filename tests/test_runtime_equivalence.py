@@ -13,7 +13,6 @@ import pytest
 
 from repro.config import ModelConfig
 from repro.runtime import (
-    CommLog,
     DataCentricMoE,
     DistributedMoETransformer,
     ExpertCentricMoE,

@@ -9,7 +9,7 @@ from repro.runtime.trainer import (
     DistributedTrainer,
     linear_warmup_schedule,
 )
-from repro.tensorlib import Adam, Parameter, SGD, Tensor
+from repro.tensorlib import Adam, Parameter
 from repro.tensorlib.optim import clip_grad_norm
 from repro.workloads import target_batches, token_batches
 

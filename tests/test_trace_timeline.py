@@ -33,7 +33,6 @@ class TestRenderTimeline:
     def test_rows_have_fixed_width(self):
         text = render_timeline(sample_trace(), width=50)
         rows = [line for line in text.splitlines() if "|" in line]
-        widths = {line.index("|", 10) - line.index("|") for line in rows}
         # All bars span the same number of columns.
         bar_lengths = {
             len(line.split("|")[1]) for line in rows
