@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench reports examples clean
+.PHONY: install test lint bench chaos reports examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,11 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_chaos_resilience.py \
+		--benchmark-only -q
+	@cat benchmarks/reports/chaos_resilience.txt
 
 reports: bench
 	@cat benchmarks/reports/*.txt

@@ -6,7 +6,9 @@ Commands:
   for a model on a cluster shape (the pre-flight check Janus runs before
   training, §5.1.3).
 * ``simulate`` — run timed iterations of a model under a chosen paradigm
-  and print time/traffic.
+  and print time/traffic (``--faults SPEC`` injects a seeded fault plan).
+* ``chaos``    — sweep pull-loss rates across paradigms and report
+  iteration time, retries and stale fallbacks (graceful degradation).
 * ``table1``   — regenerate the paper's Table 1 traffic comparison.
 * ``goodput``  — the §3.1 All-to-All goodput stress test.
 
@@ -30,6 +32,7 @@ from .config import (
     moe_transformer_xl,
     pr_moe_transformer_xl,
 )
+from .comm import PullFailedError
 from .core import (
     JanusFeatures,
     engine_for,
@@ -38,8 +41,13 @@ from .core import (
     estimate_expert_centric,
     profile_model,
 )
+from .faults import FaultPlan, MessageLoss, ResilienceConfig
 from .netsim import OutOfMemoryError, measure_all_to_all_goodput
+from .simkit import StalledSimulationError
 from .units import GIB
+
+# Simulation failures the CLI reports as one clean line, not a traceback.
+_SIMULATION_ERRORS = (OutOfMemoryError, PullFailedError, StalledSimulationError)
 
 MODEL_CHOICES = {
     "moe-bert": moe_bert,
@@ -55,6 +63,13 @@ def _positive_int(text: str) -> int:
             f"must be a positive integer, got {text!r}"
         )
     return value
+
+
+def _fault_plan(text: str) -> FaultPlan:
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _resolve_model(args) -> ModelConfig:
@@ -123,10 +138,12 @@ def cmd_simulate(args) -> int:
     kwargs = {}
     if args.chunks is not None:
         kwargs["features"] = JanusFeatures(ec_pipeline_chunks=args.chunks)
+    if args.faults is not None:
+        kwargs["fault_plan"] = args.faults
     try:
         engine = engine_for(args.paradigm, config, cluster, **kwargs)
         result = engine.run_iteration(forward_only=args.inference)
-    except OutOfMemoryError as exc:
+    except _SIMULATION_ERRORS as exc:
         print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
         return 1
     phase = "inference pass" if args.inference else "training iteration"
@@ -139,6 +156,55 @@ def cmd_simulate(args) -> int:
     print("  strategy per block:  "
           + ", ".join(f"{b}:{name}"
                       for b, name in sorted(result.strategies.items())))
+    stats = result.fault_stats
+    if stats is not None:
+        print(f"  faults:              {stats.dropped_messages} dropped, "
+              f"{stats.retries} retries, {stats.stale_fallbacks} stale "
+              f"fallbacks, {stats.grad_failures} grad losses")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Loss-rate sweep: the §3.2 less-synchronization claim under fire."""
+    config = _resolve_model(args)
+    cluster = Cluster(args.machines)
+    try:
+        rates = sorted({float(rate) for rate in args.rates.split(",")})
+    except ValueError:
+        print(f"invalid --rates {args.rates!r}", file=sys.stderr)
+        return 2
+    modes = args.paradigms.split(",")
+    rows = []
+    for mode in modes:
+        for rate in rates:
+            plan = FaultPlan(
+                seed=args.seed,
+                faults=(MessageLoss(kinds=("pull-request",), rate=rate),),
+            )
+            try:
+                engine = engine_for(
+                    mode, config, cluster,
+                    fault_plan=plan, resilience=ResilienceConfig(),
+                )
+                result = engine.run_iteration()
+            except _SIMULATION_ERRORS as exc:
+                print(f"{config.name} / {mode}: {exc}", file=sys.stderr)
+                return 1
+            stats = result.fault_stats
+            rows.append([
+                mode,
+                f"{rate:.0%}",
+                f"{result.seconds * 1e3:.2f}",
+                stats.dropped_messages,
+                stats.retries,
+                stats.stale_fallbacks,
+            ])
+    print(format_table(
+        ["Paradigm", "Loss", "ms/iter", "Dropped", "Retries", "Fallbacks"],
+        rows,
+        title=f"{config.name}: pull-request loss sweep "
+              f"(seed={args.seed}, {args.machines} machines)",
+    ))
     return 0
 
 
@@ -196,7 +262,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--inference", action="store_true",
                           help="forward-only pass (serving)")
+    simulate.add_argument(
+        "--faults", type=_fault_plan, default=None, metavar="SPEC",
+        help="seeded fault plan, e.g. "
+             "'seed=7;loss=pull-request*0.1;link=nic*0.25@0.005:0.015;"
+             "slow=0*0.5;outage=1@0.002:0.004' "
+             "(clauses: seed, loss, link, slow, outage; windows are "
+             "@start:end in simulated seconds)",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="pull-loss sweep across paradigms (resilience report)"
+    )
+    _add_model_arguments(chaos)
+    chaos.add_argument(
+        "--rates", default="0,0.05,0.1,0.2",
+        help="comma-separated pull-request loss rates",
+    )
+    chaos.add_argument(
+        "--paradigms", default="expert-centric,data-centric,unified",
+        help="comma-separated engine modes to sweep",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan RNG seed")
+    chaos.set_defaults(func=cmd_chaos)
 
     table = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table.set_defaults(func=cmd_table1)

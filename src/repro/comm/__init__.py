@@ -3,7 +3,7 @@ RDMA data plane."""
 
 from .endpoint import ControlPlane, Endpoint
 from .messages import Ack, ControlMessage, GradPush, PullRequest, PullResponse
-from .pull import PullServer, PullTransport
+from .pull import PullFailedError, PullServer, PullTransport
 
 __all__ = [
     "Ack",
@@ -11,6 +11,7 @@ __all__ = [
     "ControlPlane",
     "Endpoint",
     "GradPush",
+    "PullFailedError",
     "PullRequest",
     "PullResponse",
     "PullServer",

@@ -76,4 +76,11 @@ class ControlPlane:
             self._endpoints[message.receiver]._deliver(message)
             return message
 
-        return env.process(deliver())
+        # Daemon: if fault injection drops the underlying flow, the stuck
+        # delivery should not read as a stalled simulation — recovery is
+        # the sender's retry timer.
+        return env.process(
+            deliver(),
+            name=f"deliver[{type(message).__name__}->{message.receiver}]",
+            daemon=True,
+        )

@@ -11,19 +11,43 @@ A :class:`PullServer` runs per serving device: it drains the device's
 endpoint mailbox and issues the data-plane transfer for each request,
 optionally bounded by a service concurrency (how many outstanding RDMA
 sends the worker drives at once).
+
+Resilience: by default a pull to a non-serving device never completes,
+exactly like a real socket with no listener.  Passing ``timeout`` to
+:meth:`PullTransport.pull` arms a per-attempt timer with bounded retries
+and exponential backoff; exhausting the retry budget raises the terminal
+:class:`PullFailedError` in the waiting process instead of hanging the
+simulation.  Servers can be paused (stop draining), told to drop requests
+(outage), and have in-flight serves interrupted — the fault injector uses
+these hooks, and the hardened server keeps ``served``/``dropped``/
+``ignored``/``malformed`` counters either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Optional, Set
 
 from ..cluster import Device
 from ..netsim import Fabric
-from ..simkit import Event, Resource
+from ..simkit import AnyOf, Event, Interrupt, Process, Resource
 from .endpoint import ControlPlane
-from .messages import GradPush, PullRequest
+from .messages import ControlMessage, GradPush, PullRequest
 
-__all__ = ["PullServer", "PullTransport"]
+__all__ = ["PullFailedError", "PullServer", "PullTransport"]
+
+
+class PullFailedError(Exception):
+    """A pull exhausted its retry budget without receiving the payload."""
+
+    def __init__(self, requester, target, key, attempts: int):
+        self.requester = requester
+        self.target = target
+        self.key = key
+        self.attempts = attempts
+        super().__init__(
+            f"pull {key!r} from {target} to {requester} failed "
+            f"after {attempts} attempt(s)"
+        )
 
 
 class PullServer:
@@ -40,28 +64,86 @@ class PullServer:
         self.transport = transport
         self.device = device
         self.served = 0
+        self.dropped = 0
+        self.ignored = 0
+        self.malformed = 0
         env = transport.fabric.env
         self._slots = (
             Resource(env, capacity=concurrency) if concurrency else None
         )
-        self._process = env.process(self._listen())
+        self._dropping = False
+        self._resume_event: Optional[Event] = None
+        self._inflight: Set[Process] = set()
+        # The listen loop blocks on recv() forever by design; daemon=True
+        # keeps it out of stalled-simulation diagnostics.
+        self._process = env.process(
+            self._listen(), name=f"pull-server[{device}]", daemon=True
+        )
+
+    # -- outage hooks --------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        return self._resume_event is not None
+
+    def pause(self) -> None:
+        """Stop draining the endpoint; requests queue until :meth:`resume`."""
+        if self._resume_event is None:
+            self._resume_event = self.transport.fabric.env.event()
+
+    def resume(self) -> None:
+        if self._resume_event is not None:
+            event, self._resume_event = self._resume_event, None
+            event.succeed()
+
+    def set_dropping(self, dropping: bool) -> None:
+        """While dropping, incoming requests are discarded (and counted)."""
+        self._dropping = bool(dropping)
+
+    def interrupt_inflight(self) -> None:
+        """Abort every serve currently in flight (requester sees nothing)."""
+        for proc in list(self._inflight):
+            if proc.is_alive:
+                proc.interrupt("server outage")
+
+    # -- serving -------------------------------------------------------------
 
     def _listen(self):
         endpoint = self.transport.plane.endpoint(self.device)
         env = self.transport.fabric.env
         while True:
             message = yield endpoint.recv()
+            if self._resume_event is not None:
+                yield self._resume_event
+            if not isinstance(message, ControlMessage):
+                self.malformed += 1
+                continue
             if not isinstance(message, PullRequest):
+                self.ignored += 1
                 continue  # pushes etc. are handled by their own waiters
-            env.process(self._serve(message))
+            if self._dropping:
+                self.dropped += 1
+                continue
+            proc = env.process(
+                self._serve(message),
+                name=f"pull-serve[{message.key}]",
+                daemon=True,
+            )
+            self._inflight.add(proc)
+            proc.callbacks.append(lambda _evt, p=proc: self._inflight.discard(p))
 
     def _serve(self, request: PullRequest):
-        if self._slots is not None:
-            with self._slots.request() as slot:
-                yield slot
+        try:
+            if self._slots is not None:
+                with self._slots.request() as slot:
+                    yield slot
+                    yield from self._send_payload(request)
+            else:
                 yield from self._send_payload(request)
-        else:
-            yield from self._send_payload(request)
+        except Interrupt:
+            # The with-block (or request.cancel) released the slot; the
+            # requester's retry timer is its path to recovery.
+            self.dropped += 1
 
     def _send_payload(self, request: PullRequest):
         flow = self.transport.fabric.transfer(
@@ -83,6 +165,8 @@ class PullTransport:
         self.plane = plane if plane is not None else ControlPlane(fabric)
         self._servers: Dict[Device, PullServer] = {}
         self._pending: Dict[int, Event] = {}
+        self.retries = 0
+        self.failures = 0
 
     def serve(self, device: Device, concurrency: Optional[int] = None) -> PullServer:
         """Start (or return) the pull server for ``device``."""
@@ -90,30 +174,88 @@ class PullTransport:
             self._servers[device] = PullServer(self, device, concurrency)
         return self._servers[device]
 
+    def server(self, device: Device) -> Optional[PullServer]:
+        return self._servers.get(device)
+
+    @property
+    def servers(self) -> Dict[Device, PullServer]:
+        return dict(self._servers)
+
     def pull(
         self,
         requester: Device,
         target: Device,
         payload_bytes: float,
         key: Hashable = None,
+        timeout: Optional[float] = None,
+        max_retries: int = 0,
+        backoff: float = 2.0,
     ) -> Event:
         """Pull ``payload_bytes`` from ``target``; event fires on receipt.
 
-        The target must be serving (:meth:`serve`) or the pull never
-        completes — exactly like a real socket with no listener.
+        With ``timeout=None`` (the default) the target must be serving
+        (:meth:`serve`) or the pull never completes — exactly like a real
+        socket with no listener.  With a ``timeout``, each attempt waits at
+        most that long, then re-sends the request up to ``max_retries``
+        times with the timeout scaled by ``backoff`` per retry; when the
+        budget is exhausted the returned event fails with
+        :class:`PullFailedError`.
         """
         if payload_bytes < 0:
             raise ValueError("payload_bytes must be non-negative")
-        request = PullRequest(
-            sender=requester,
-            receiver=target,
-            key=key,
-            payload_bytes=payload_bytes,
+        if timeout is None:
+            request = PullRequest(
+                sender=requester,
+                receiver=target,
+                key=key,
+                payload_bytes=payload_bytes,
+            )
+            done = self.fabric.env.event()
+            self._pending[request.message_id] = done
+            self.plane.send(request)
+            return done
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        return self.fabric.env.process(
+            self._pull_with_retry(
+                requester, target, payload_bytes, key,
+                timeout, max_retries, backoff,
+            ),
+            name=f"pull-retry[{key}]",
         )
-        done = self.fabric.env.event()
-        self._pending[request.message_id] = done
-        self.plane.send(request)
-        return done
+
+    def _pull_with_retry(
+        self, requester, target, payload_bytes, key,
+        timeout, max_retries, backoff,
+    ):
+        env = self.fabric.env
+        delay = timeout
+        attempts = max_retries + 1
+        for attempt in range(attempts):
+            request = PullRequest(
+                sender=requester,
+                receiver=target,
+                key=key,
+                payload_bytes=payload_bytes,
+            )
+            done = env.event()
+            self._pending[request.message_id] = done
+            self.plane.send(request)
+            yield AnyOf(env, [done, env.timeout(delay)])
+            if done.triggered:
+                return
+            # Timed out: forget the attempt so a late response is ignored,
+            # then back off before re-sending.
+            self._pending.pop(request.message_id, None)
+            if attempt < max_retries:
+                self.retries += 1
+                delay *= backoff
+        self.failures += 1
+        raise PullFailedError(requester, target, key, attempts)
 
     def push(
         self,
@@ -138,7 +280,7 @@ class PullTransport:
             )
             yield flow.done
 
-        return env.process(run())
+        return env.process(run(), name=f"push[{key}]")
 
     def _complete(self, message_id: int) -> None:
         done = self._pending.pop(message_id, None)

@@ -68,6 +68,8 @@ class IterationContext:
         trace: TraceRecorder,
         dc_blocks=None,
         strategy_blocks=None,
+        resilience=None,
+        fault_stats=None,
     ):
         """``dc_blocks``: MoE block indices served by the Janus Task Queue
         (and thus need the schedulers).  Defaults to every MoE block.
@@ -82,6 +84,13 @@ class IterationContext:
         self.workload = workload
         self.features = features
         self.trace = trace
+        # Resilience: None keeps the happy-path scheduler code byte-for-byte
+        # (timings bit-identical to a no-fault build); a
+        # :class:`~repro.faults.ResilienceConfig` arms timeouts/retries.
+        self.resilience = resilience
+        self.fault_stats = fault_stats
+        # First fetch start per (machine, block): anchors the block deadline.
+        self.block_fetch_began: Dict[Tuple[int, int], float] = {}
         layout = workload.layout
         self.layout = layout
         cluster = fabric.cluster

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cluster import Cluster
+from ..faults import FaultInjector, FaultStats, ResilienceConfig
 from ..netsim import Fabric
 from ..simkit import AllOf, Environment
 from ..trace import TraceRecorder
@@ -51,6 +52,10 @@ class IterationResult:
     nic_egress_bytes: np.ndarray       # per machine
     strategies: Dict[int, str] = field(default_factory=dict)
     features: JanusFeatures = field(default_factory=JanusFeatures)
+    fault_stats: Optional[FaultStats] = None
+    # Credit-buffer accounting (§5.1.1): final and minimum level per rank.
+    credit_levels: Dict[int, float] = field(default_factory=dict)
+    credit_min_levels: Dict[int, float] = field(default_factory=dict)
 
     @property
     def paradigms(self) -> Dict[int, Paradigm]:
@@ -90,6 +95,9 @@ class JanusEngine:
         machine_speed: Optional[Dict[int, float]] = None,
         compute_jitter: float = 0.0,
         jitter_seed: int = 0,
+        fault_plan=None,
+        resilience=None,
+        degradation=None,
     ):
         """``block_strategies`` maps every MoE block index to the strategy
         that executes it: a registered strategy name, a
@@ -107,7 +115,16 @@ class JanusEngine:
         *maximum* jitter at every barrier (sum of maxima over the
         iteration); asynchronous pipelines average it out and only the
         final weight-update barrier takes a maximum — the §3.2 "less
-        synchronization" effect, measurable with this knob."""
+        synchronization" effect, measurable with this knob.
+
+        ``fault_plan`` (:class:`~repro.faults.FaultPlan`) injects seeded,
+        time-windowed faults into every iteration; it implies a default
+        :class:`~repro.faults.ResilienceConfig` unless ``resilience`` is
+        given explicitly (``resilience`` alone arms timeouts/retries with
+        no injected faults).  ``degradation``
+        (:class:`~repro.faults.DegradationPolicy`) switches blocks that
+        keep blowing their pull deadlines to the fallback strategy between
+        iterations of :meth:`run`."""
         self.cluster = cluster
         self.workload = workload
         self.features = features if features is not None else JanusFeatures()
@@ -124,6 +141,11 @@ class JanusEngine:
         self.compute_jitter = compute_jitter
         self.jitter_seed = jitter_seed
         self._jitter_rng = None
+        self.fault_plan = fault_plan
+        self.resilience = resilience
+        if self.resilience is None and fault_plan is not None and fault_plan:
+            self.resilience = ResilienceConfig()
+        self.degradation = degradation
         moe_indices = {b.index for b in workload.moe_blocks()}
         if set(block_strategies) != moe_indices:
             raise ValueError(
@@ -174,6 +196,13 @@ class JanusEngine:
         env = Environment()
         fabric = Fabric(env, self.cluster)
         trace = TraceRecorder()
+        fault_stats = None
+        if self.fault_plan is not None or self.resilience is not None:
+            fault_stats = FaultStats()
+        if self.fault_plan is not None and self.fault_plan:
+            FaultInjector(
+                self.fault_plan, fabric, trace=trace, stats=fault_stats
+            ).install()
         strategy_blocks: Dict[str, List[int]] = {}
         for index in sorted(self.block_strategies):
             name = self.block_strategies[index]
@@ -197,6 +226,8 @@ class JanusEngine:
             strategy_blocks={
                 name: strategy.blocks for name, strategy in strategies.items()
             },
+            resilience=self.resilience,
+            fault_stats=fault_stats,
         )
         for strategy in strategies.values():
             strategy.setup(ctx, forward_only)
@@ -237,10 +268,40 @@ class JanusEngine:
             nic_egress_bytes=egress,
             strategies=dict(self.block_strategies),
             features=self.features,
+            fault_stats=fault_stats,
+            credit_levels={
+                rank: container.level
+                for rank, container in ctx.credits.items()
+            },
+            credit_min_levels={
+                rank: container.min_level
+                for rank, container in ctx.credits.items()
+            },
         )
 
     def run(self, iterations: int = 1) -> List[IterationResult]:
-        return [self.run_iteration() for _ in range(iterations)]
+        results = []
+        for _ in range(iterations):
+            result = self.run_iteration()
+            results.append(result)
+            self._apply_degradation(result)
+        return results
+
+    def _apply_degradation(self, result: IterationResult) -> None:
+        """Between iterations: flip blocks that kept missing their pull
+        deadlines to the policy's fallback strategy (graceful degradation
+        through the unified per-block selector)."""
+        if self.degradation is None or result.fault_stats is None:
+            return
+        for block, name in self.degradation.decide(result.fault_stats).items():
+            resolved = resolve_strategy_name(name)
+            if self.block_strategies.get(block) == resolved:
+                continue
+            self.block_strategies[block] = resolved
+            result.fault_stats.degraded_blocks[block] = resolved
+            result.trace.mark(
+                "fault.degrade", result.seconds, block=block, strategy=resolved
+            )
 
     def run_inference(self) -> IterationResult:
         """Simulate one forward-only (serving) pass."""

@@ -73,6 +73,9 @@ class InterNodeScheduler:
         ctx = self.ctx
         from ..comm.endpoint import SOCKET_OVERHEAD_S
 
+        if ctx.resilience is not None:
+            yield from self._resilient_fetch_chain(nic, tasks)
+            return
         for block, expert in tasks:
             yield self._fetch_gate(block)
             owner = ctx.placements[block].owner(expert)
@@ -101,6 +104,112 @@ class InterNodeScheduler:
             cached = ctx.cached_event(block, self.machine, expert)
             if not cached.triggered:
                 cached.succeed()
+
+    # -- resilient forward fetch (fault-injected runs) -------------------------------
+
+    def _resilient_fetch_chain(self, nic: int, tasks: List[tuple]):
+        """The fetch chain with per-pull timeout/retry/backoff and a
+        per-block deadline.  A pull that exhausts its budget (or blows the
+        block deadline) falls back to the machine-cached stale expert copy
+        for this iteration instead of deadlocking the pipeline."""
+        ctx = self.ctx
+        from ..comm import PullFailedError
+        from ..comm.endpoint import SOCKET_OVERHEAD_S
+
+        res = ctx.resilience
+        env = ctx.env
+        for block, expert in tasks:
+            yield self._fetch_gate(block)
+            began = ctx.block_fetch_began.setdefault(
+                (self.machine, block), env.now
+            )
+            deadline = (
+                began + res.block_deadline
+                if res.block_deadline is not None
+                else float("inf")
+            )
+            owner = ctx.placements[block].owner(expert)
+            owner_machine = ctx.layout.machine_of(owner)
+            delay = res.pull_timeout
+            fetched = False
+            attempts = res.max_retries + 1
+            for attempt in range(attempts):
+                budget = deadline - env.now
+                if budget <= 0:
+                    break
+                request = ctx.fabric.transfer(
+                    self.host,
+                    Device.host(owner_machine),
+                    0.0,
+                    nic_index=nic,
+                    tag=("pull-request", block, self.machine, expert),
+                )
+                yield AnyOf(env, [request.done, env.timeout(min(delay, budget))])
+                if not request.done.triggered:
+                    # Request lost (or server dark): back off and re-send.
+                    if attempt < res.max_retries:
+                        self._count_retry(block, expert)
+                        delay *= res.backoff
+                    continue
+                yield env.timeout(SOCKET_OVERHEAD_S)
+                flow = ctx.fabric.transfer(
+                    Device.host(owner_machine),
+                    self.host,
+                    ctx.workload.expert_bytes,
+                    nic_index=nic,
+                    tag=("fetch-external", block, self.machine, expert),
+                )
+                remaining = deadline - env.now
+                if remaining == float("inf"):
+                    yield flow.done
+                else:
+                    yield AnyOf(env, [flow.done, env.timeout(max(remaining, 0.0))])
+                # A degraded link may keep the payload in flight past the
+                # deadline; the bytes still move (wasted traffic) but the
+                # block stops waiting for them.
+                fetched = flow.done.triggered
+                break
+            if fetched:
+                ctx.cache_fills[self.machine] += 1
+            else:
+                if res.on_failure == "raise":
+                    raise PullFailedError(
+                        self.host, Device.host(owner_machine),
+                        ("fetch", block, expert), attempts,
+                    )
+                self._stale_fallback(block, expert)
+            cached = ctx.cached_event(block, self.machine, expert)
+            if not cached.triggered:
+                cached.succeed()
+
+    def _count_retry(self, block: int, expert: int) -> None:
+        ctx = self.ctx
+        if ctx.fault_stats is not None:
+            ctx.fault_stats.retries += 1
+        now = ctx.env.now
+        ctx.trace.record(
+            "fault.retry", now, now, block=block,
+            detail=f"machine={self.machine} expert={expert}",
+        )
+        ctx.trace.mark(
+            "fault.retry", now, machine=self.machine, block=block, expert=expert
+        )
+
+    def _stale_fallback(self, block: int, expert: int) -> None:
+        """Give up on the fresh copy: serve this iteration from the stale
+        machine-cached expert (no cache-fill accounted)."""
+        ctx = self.ctx
+        if ctx.fault_stats is not None:
+            ctx.fault_stats.count_fallback(block)
+        now = ctx.env.now
+        ctx.trace.record(
+            "fault.fallback", now, now, block=block,
+            detail=f"machine={self.machine} expert={expert} stale",
+        )
+        ctx.trace.mark(
+            "fault.fallback", now, machine=self.machine, block=block,
+            expert=expert,
+        )
 
     def _fetch_gate(self, block: int):
         """Fetching may start at iteration start (prefetch) or when the
@@ -144,11 +253,40 @@ class InterNodeScheduler:
         owner = ctx.placements[block].owner(expert)
         owner_machine = ctx.layout.machine_of(owner)
         nic = expert % self.num_nics
-        flow = ctx.fabric.transfer(
-            self.host,
-            Device.host(owner_machine),
-            ctx.workload.expert_bytes,
-            nic_index=nic,
-            tag=("grad-push", block, self.machine, expert),
+
+        def push():
+            return ctx.fabric.transfer(
+                self.host,
+                Device.host(owner_machine),
+                ctx.workload.expert_bytes,
+                nic_index=nic,
+                tag=("grad-push", block, self.machine, expert),
+            )
+
+        res = ctx.resilience
+        if res is None:
+            yield push().done
+            return
+        env = ctx.env
+        delay = res.push_timeout
+        for attempt in range(res.max_retries + 1):
+            flow = push()
+            yield AnyOf(env, [flow.done, env.timeout(delay)])
+            if flow.done.triggered:
+                return
+            if attempt < res.max_retries:
+                self._count_retry(block, expert)
+                delay *= res.backoff
+        # Gradient lost for this iteration (real systems skip or re-apply
+        # next step); record it rather than stalling the barrier.
+        if ctx.fault_stats is not None:
+            ctx.fault_stats.grad_failures += 1
+        now = env.now
+        ctx.trace.record(
+            "fault.grad_lost", now, now, block=block,
+            detail=f"machine={self.machine} expert={expert}",
         )
-        yield flow.done
+        ctx.trace.mark(
+            "fault.grad_lost", now, machine=self.machine, block=block,
+            expert=expert,
+        )

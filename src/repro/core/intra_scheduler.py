@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List
 
 from ..cluster import Device
+from ..simkit import AnyOf
 from .context import IterationContext
 from .priority import internal_pull_order, pcie_peer_schedule
 
@@ -119,6 +120,10 @@ class IntraNodeScheduler:
             yield ctx.credits[self.rank].get(1)
             if phase == "fwd":
                 owner = placement.owner(expert)
+                if ctx.resilience is not None:
+                    yield from self._resilient_direct_pull(block, expert, owner)
+                    ctx.mark_ready(phase, block, self.rank, expert)
+                    continue
                 flow = ctx.fabric.transfer(
                     ctx.gpu_of[owner],
                     ctx.gpu_of[self.rank],
@@ -134,6 +139,53 @@ class IntraNodeScheduler:
                 )
             yield flow.done
             ctx.mark_ready(phase, block, self.rank, expert)
+
+    def _resilient_direct_pull(self, block: int, expert: int, owner: int):
+        """Direct pull with timeout/retry; on exhaustion mark the expert
+        ready from the worker's stale local copy.  The credit taken by the
+        caller stays held either way and is released after compute, so the
+        credit discipline is unchanged under faults."""
+        ctx = self.ctx
+        from ..comm import PullFailedError
+
+        res = ctx.resilience
+        env = ctx.env
+        delay = res.pull_timeout
+        attempts = res.max_retries + 1
+        for attempt in range(attempts):
+            flow = ctx.fabric.transfer(
+                ctx.gpu_of[owner],
+                ctx.gpu_of[self.rank],
+                ctx.workload.expert_bytes,
+                tag=("pull-direct", block, self.rank, expert),
+            )
+            yield AnyOf(env, [flow.done, env.timeout(delay)])
+            if flow.done.triggered:
+                return
+            if attempt < res.max_retries:
+                if ctx.fault_stats is not None:
+                    ctx.fault_stats.retries += 1
+                now = env.now
+                ctx.trace.record(
+                    "fault.retry", now, now, worker=self.rank, block=block,
+                    detail=f"expert={expert} direct",
+                )
+                delay *= res.backoff
+        if res.on_failure == "raise":
+            raise PullFailedError(
+                ctx.gpu_of[self.rank], ctx.gpu_of[owner],
+                ("direct", block, expert), attempts,
+            )
+        if ctx.fault_stats is not None:
+            ctx.fault_stats.count_fallback(block)
+        now = env.now
+        ctx.trace.record(
+            "fault.fallback", now, now, worker=self.rank, block=block,
+            detail=f"expert={expert} stale",
+        )
+        ctx.trace.mark(
+            "fault.fallback", now, worker=self.rank, block=block, expert=expert
+        )
 
     def _staged_copies(self, phase: str, block: int, needed: List[int]):
         ctx = self.ctx

@@ -117,6 +117,9 @@ def unified_engine(
     threshold: float = 1.0,
     low_r_strategy: str = "expert-centric",
     high_r_strategy: str = "data-centric",
+    fault_plan=None,
+    resilience=None,
+    degradation=None,
 ) -> JanusEngine:
     """Full Janus: per-block strategy by R (see :func:`strategy_map`)."""
     return JanusEngine(
@@ -128,6 +131,9 @@ def unified_engine(
         ),
         features=features,
         check_memory=check_memory,
+        fault_plan=fault_plan,
+        resilience=resilience,
+        degradation=degradation,
     )
 
 
@@ -140,6 +146,9 @@ def strategy_engine(
     imbalance: float = 0.0,
     rng: Optional[np.random.Generator] = None,
     check_memory: bool = True,
+    fault_plan=None,
+    resilience=None,
+    degradation=None,
 ) -> JanusEngine:
     """Every MoE block under one registered block strategy."""
     name = resolve_strategy_name(strategy)
@@ -149,6 +158,9 @@ def strategy_engine(
         {index: name for index in config.moe_block_indices},
         features=features,
         check_memory=check_memory,
+        fault_plan=fault_plan,
+        resilience=resilience,
+        degradation=degradation,
     )
 
 

@@ -1,0 +1,35 @@
+"""Deterministic fault injection and resilience policies.
+
+The subsystem that turns the reproduction from happy-path-only into a
+chaos-testable system: :class:`FaultPlan` describes seeded, time-windowed
+adverse conditions (link degradation/flaps, server outages, control-message
+loss, compute slowdown), :class:`FaultInjector` applies them to a live
+fabric, and :class:`ResilienceConfig`/:class:`DegradationPolicy` give the
+schedulers the timeout/retry/fallback machinery to survive them — the
+measurable form of the paper's §3.2 "less synchronization" robustness
+claim.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .resilience import DegradationPolicy, ResilienceConfig
+from .spec import (
+    LOSSABLE_MESSAGE_KINDS,
+    ComputeSlowdown,
+    FaultPlan,
+    LinkFault,
+    MessageLoss,
+    ServerOutage,
+)
+
+__all__ = [
+    "LOSSABLE_MESSAGE_KINDS",
+    "ComputeSlowdown",
+    "DegradationPolicy",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "LinkFault",
+    "MessageLoss",
+    "ResilienceConfig",
+    "ServerOutage",
+]

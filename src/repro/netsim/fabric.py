@@ -35,6 +35,8 @@ class Fabric:
         self.compute_streams: Dict[Device, Resource] = {
             gpu: Resource(env, capacity=1) for gpu in cluster.gpus()
         }
+        # Set by FaultInjector.install(); None on the (default) happy path.
+        self.fault_injector = None
 
     # -- communication -------------------------------------------------------
 
@@ -50,6 +52,10 @@ class Fabric:
         tag=None,
     ) -> Flow:
         """Start a point-to-point transfer; wait on ``.done``."""
+        if self.fault_injector is not None:
+            dropped = self.fault_injector.intercept(src, dst, size, tag)
+            if dropped is not None:
+                return dropped
         path = self.cluster.route(src, dst, nic_index=nic_index)
         return self.network.transfer(
             path, size, latency=self.path_latency(path), tag=tag
@@ -72,6 +78,10 @@ class Fabric:
         stream = self.compute_streams[gpu]
         with stream.request() as slot:
             yield slot
+            if self.fault_injector is not None:
+                seconds = self.fault_injector.compute_duration(
+                    gpu.machine, seconds, self.env.now
+                )
             yield self.env.timeout(seconds)
 
     def flops_time(self, flops: float) -> float:

@@ -138,6 +138,25 @@ class FluidNetwork:
     def capacity(self, link_id: Hashable) -> float:
         return self._capacity_list[self._index[link_id]]
 
+    def links(self) -> List[Hashable]:
+        """All registered link ids, in registration order."""
+        return list(self._index)
+
+    def set_capacity(self, link_id: Hashable, bandwidth: float) -> None:
+        """Rescale a link's bandwidth mid-flight (fault injection).
+
+        Bytes already moved are accounted at the old rates before the
+        change; active flows crossing the link are re-waterfilled at the
+        new capacity from the current instant.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        index = self._index[link_id]
+        self._advance()
+        self._capacity_list[index] = float(bandwidth)
+        self._capacity = np.asarray(self._capacity_list)
+        self._schedule_recompute()
+
     @property
     def link_bytes(self) -> _LinkBytesView:
         return _LinkBytesView(self)

@@ -9,6 +9,7 @@ from .core import (
     Interrupt,
     Process,
     SimulationError,
+    StalledSimulationError,
     Timeout,
 )
 from .resources import (
@@ -36,6 +37,7 @@ __all__ = [
     "Request",
     "Resource",
     "SimulationError",
+    "StalledSimulationError",
     "Store",
     "Timeout",
 ]

@@ -25,11 +25,31 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "StalledSimulationError",
 ]
 
 
 class SimulationError(Exception):
     """Raised for malformed use of the simulation kernel."""
+
+
+class StalledSimulationError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    A stall is almost always a lost wakeup: a process is waiting on an event
+    nobody will ever trigger (the canonical example is a
+    ``PullTransport.pull`` to a device that was never ``serve()``d).  The
+    exception names the blocked processes so the deadlock is diagnosable
+    instead of silently returning control to the caller.
+    """
+
+    def __init__(self, processes, reason: str = "event queue exhausted"):
+        self.processes = list(processes)
+        names = ", ".join(p.name for p in self.processes) or "<none>"
+        super().__init__(
+            f"simulation stalled: {reason} with "
+            f"{len(self.processes)} blocked process(es): {names}"
+        )
 
 
 class Interrupt(Exception):
@@ -152,12 +172,23 @@ class Process(Event):
     """Wraps a generator; the process itself is an event that triggers when
     the generator returns (with its return value) or raises."""
 
-    def __init__(self, env: "Environment", generator: Generator):
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Daemon processes (e.g. server listen loops) are expected to stay
+        # blocked forever and are exempt from stall detection.
+        self.daemon = daemon
+        env._alive.add(self)
         Initialize(env, self)
 
     @property
@@ -195,11 +226,13 @@ class Process(Event):
             except StopIteration as stop:
                 self._target = None
                 self.env._active_process = None
+                self.env._alive.discard(self)
                 self.succeed(getattr(stop, "value", None))
                 return
             except BaseException as exc:
                 self._target = None
                 self.env._active_process = None
+                self.env._alive.discard(self)
                 self.fail(exc)
                 return
 
@@ -292,6 +325,7 @@ class Environment:
         self._queue: List = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self._alive: set = set()
 
     @property
     def now(self) -> float:
@@ -309,8 +343,17 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
-        return Process(self, generator)
+    def process(
+        self,
+        generator: Generator,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> Process:
+        return Process(self, generator, name=name, daemon=daemon)
+
+    def blocked_processes(self) -> List[Process]:
+        """Non-daemon processes that are alive (started, not finished)."""
+        return [p for p in self._alive if not p.daemon]
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -367,9 +410,16 @@ class Environment:
         if stop_event is not None:
             if stop_event.processed:
                 return stop_event.value
-            raise SimulationError(
-                "run() finished but the awaited event never triggered"
+            raise StalledSimulationError(
+                sorted(self.blocked_processes(), key=lambda p: p.name),
+                reason="run() finished but the awaited event never triggered",
             )
         if stop_time is not None:
             self._now = stop_time
+            return None
+        blocked = self.blocked_processes()
+        if blocked:
+            raise StalledSimulationError(
+                sorted(blocked, key=lambda p: p.name)
+            )
         return None

@@ -212,6 +212,7 @@ class Container:
         self.env = env
         self.capacity = capacity
         self._level = init
+        self.min_level = init
         self._put_queue: List[ContainerPut] = []
         self._get_queue: List[ContainerGet] = []
 
@@ -240,5 +241,6 @@ class Container:
             if self._get_queue and self._level >= self._get_queue[0].amount:
                 get = self._get_queue.pop(0)
                 self._level -= get.amount
+                self.min_level = min(self.min_level, self._level)
                 get.succeed(get.amount)
                 progressed = True

@@ -18,6 +18,7 @@ _LANE_GLYPHS = {
     "compute.expert": "E",
     "comm.a2a": "A",
     "comm.pull": "P",
+    "fault": "!",
 }
 
 

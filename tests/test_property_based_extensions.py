@@ -6,13 +6,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import r_grid
+from repro.cluster import Cluster
 from repro.config import ModelConfig
+from repro.core import JanusFeatures, strategy_engine
 from repro.core.memory_model import (
     estimate_data_centric,
     estimate_expert_centric,
     estimate_mixed,
 )
 from repro.core.tensor_parallel import plan_tensor_parallel
+from repro.faults import FaultPlan, MessageLoss, ResilienceConfig
 from repro.models import TopKGate
 from repro.tensorlib import Tensor
 from repro.workloads import SyntheticCorpus
@@ -124,6 +127,41 @@ class TestCorpusProperties:
         np.testing.assert_array_equal(a, b)
         assert a.min() >= 0 and a.max() < 64
         assert len(a) == 13
+
+
+class TestCreditDiscipline:
+    @given(
+        credit_size=st.sampled_from([1, 2, 4, 16]),
+        rate=st.sampled_from([0.0, 0.3, 1.0]),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_credits_conserved_under_pull_loss(self, credit_size, rate, seed):
+        """§5.1.1 credit discipline survives fault injection: in-flight
+        fetches never exceed C (the credit Container can never go
+        negative), and every credit is back in the pool once the
+        iteration completes — whether pulls succeeded, were retried, or
+        fell back to stale copies."""
+        config = moe_config(8, 32, 64, 16, 2)
+        cluster = Cluster(2)
+        plan = FaultPlan(
+            seed=seed,
+            faults=(MessageLoss(kinds=("pull-request",), rate=rate),),
+        )
+        engine = strategy_engine(
+            "data-centric", config, cluster,
+            features=JanusFeatures(credit_size=credit_size),
+            check_memory=False,
+            fault_plan=plan, resilience=ResilienceConfig(),
+        )
+        result = engine.run_iteration()
+        # All credits released: every worker's pool is full again.
+        assert set(result.credit_levels.values()) == {credit_size}
+        # In-flight <= C throughout: the pool never went negative.
+        assert all(
+            0 <= level <= credit_size
+            for level in result.credit_min_levels.values()
+        )
 
 
 class TestSweepProperties:
