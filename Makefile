@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench chaos reports examples clean
+.PHONY: install test lint bench baseline baseline-write coverage chaos \
+	reports examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +16,21 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Perf-regression gate: fresh metric capture vs benchmarks/BENCH_metrics.json.
+baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/baseline.py --check
+
+baseline-write:
+	PYTHONPATH=src $(PYTHON) benchmarks/baseline.py --write
+
+# Line coverage with a hard 100% floor on the metrics subsystem
+# (requires pytest-cov; CI installs it).
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -q \
+		--cov=repro --cov-report=term --cov-report=xml
+	PYTHONPATH=src $(PYTHON) -m coverage report \
+		--include='src/repro/metrics/*' --fail-under=100
 
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_chaos_resilience.py \

@@ -6,7 +6,11 @@ Commands:
   for a model on a cluster shape (the pre-flight check Janus runs before
   training, §5.1.3).
 * ``simulate`` — run timed iterations of a model under a chosen paradigm
-  and print time/traffic (``--faults SPEC`` injects a seeded fault plan).
+  and print time/traffic (``--faults SPEC`` injects a seeded fault plan;
+  ``--metrics-out``/``--trace-out`` export the run report and Chrome
+  trace).
+* ``report``   — run several iterations with full metrics and write the
+  machine-readable run report (and optionally a Perfetto-loadable trace).
 * ``chaos``    — sweep pull-loss rates across paradigms and report
   iteration time, retries and stale fallbacks (graceful degradation).
 * ``table1``   — regenerate the paper's Table 1 traffic comparison.
@@ -42,7 +46,14 @@ from .core import (
     profile_model,
 )
 from .faults import FaultPlan, MessageLoss, ResilienceConfig
+from .metrics import (
+    MetricsRegistry,
+    build_run_report,
+    write_chrome_trace,
+    write_run_report,
+)
 from .netsim import OutOfMemoryError, measure_all_to_all_goodput
+from .trace import TraceRecorder
 from .simkit import StalledSimulationError
 from .units import GIB
 
@@ -140,12 +151,34 @@ def cmd_simulate(args) -> int:
         kwargs["features"] = JanusFeatures(ec_pipeline_chunks=args.chunks)
     if args.faults is not None:
         kwargs["fault_plan"] = args.faults
+    exporting = args.metrics_out is not None or args.trace_out is not None
+    registry = trace = None
+    if exporting:
+        registry = MetricsRegistry()
+        trace = TraceRecorder()
+        kwargs["metrics"] = registry
+        kwargs["trace"] = trace
     try:
         engine = engine_for(args.paradigm, config, cluster, **kwargs)
         result = engine.run_iteration(forward_only=args.inference)
     except _SIMULATION_ERRORS as exc:
         print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
         return 1
+    if args.metrics_out is not None:
+        report = build_run_report(
+            [result], registry,
+            model=config.name, paradigm=args.paradigm,
+            machines=args.machines, inference=args.inference,
+        )
+        write_run_report(args.metrics_out, report)
+        print(f"run report written to {args.metrics_out}")
+    if args.trace_out is not None:
+        write_chrome_trace(
+            args.trace_out, trace, registry,
+            process_name=f"{config.name}/{args.paradigm}",
+        )
+        print(f"Chrome trace written to {args.trace_out} "
+              "(load in Perfetto / chrome://tracing)")
     phase = "inference pass" if args.inference else "training iteration"
     print(f"{config.name} / {args.paradigm}: "
           f"{result.seconds * 1e3:.1f} ms per {phase}")
@@ -161,6 +194,58 @@ def cmd_simulate(args) -> int:
         print(f"  faults:              {stats.dropped_messages} dropped, "
               f"{stats.retries} retries, {stats.stale_fallbacks} stale "
               f"fallbacks, {stats.grad_failures} grad losses")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Multi-iteration run with full observability: prints a summary and
+    writes the machine-readable run report (``--out``) plus, optionally,
+    a Perfetto-loadable Chrome trace (``--trace-out``)."""
+    config = _resolve_model(args)
+    cluster = Cluster(args.machines)
+    registry = MetricsRegistry()
+    trace = TraceRecorder()
+    try:
+        engine = engine_for(
+            args.paradigm, config, cluster, metrics=registry, trace=trace
+        )
+        results = engine.run(args.iterations)
+    except _SIMULATION_ERRORS as exc:
+        print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
+        return 1
+    report = build_run_report(
+        results, registry,
+        model=config.name, paradigm=args.paradigm,
+        machines=args.machines, iterations=args.iterations,
+    )
+    rows = []
+    for index, summary in enumerate(report["iterations"]):
+        rows.append([
+            index,
+            f"{summary['seconds'] * 1e3:.2f}",
+            f"{summary['all_to_all_share']:.0%}",
+            f"{summary['overlap_efficiency']:.2f}",
+            f"{summary['cross_node_gb_per_machine']:.2f}",
+        ])
+    print(format_table(
+        ["Iter", "ms", "A2A", "Overlap", "GB/machine"], rows,
+        title=f"{config.name} / {args.paradigm} "
+              f"({args.machines} machines, {args.iterations} iterations)",
+    ))
+    if args.out == "-":
+        import json
+
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        write_run_report(args.out, report)
+        print(f"run report written to {args.out}")
+    if args.trace_out is not None:
+        write_chrome_trace(
+            args.trace_out, trace, registry,
+            process_name=f"{config.name}/{args.paradigm}",
+        )
+        print(f"Chrome trace written to {args.trace_out} "
+              "(load in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -270,7 +355,37 @@ def build_parser() -> argparse.ArgumentParser:
              "(clauses: seed, loss, link, slow, outage; windows are "
              "@start:end in simulated seconds)",
     )
+    simulate.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the machine-readable run report (JSON) here",
+    )
+    simulate.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome-trace/Perfetto JSON of the iteration here",
+    )
     simulate.set_defaults(func=cmd_simulate)
+
+    report = sub.add_parser(
+        "report", help="multi-iteration run report with full metrics"
+    )
+    _add_model_arguments(report)
+    report.add_argument(
+        "--paradigm",
+        choices=sorted(engine_modes()),
+        default="unified",
+        help="block-execution strategy or the unified selector",
+    )
+    report.add_argument("--iterations", type=_positive_int, default=3,
+                        help="iterations to simulate")
+    report.add_argument(
+        "--out", default="report.json", metavar="PATH",
+        help="run-report destination ('-' prints JSON to stdout)",
+    )
+    report.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also write a Chrome-trace/Perfetto JSON of the run",
+    )
+    report.set_defaults(func=cmd_report)
 
     chaos = sub.add_parser(
         "chaos", help="pull-loss sweep across paradigms (resilience report)"

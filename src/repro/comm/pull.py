@@ -160,11 +160,21 @@ class PullServer:
 class PullTransport:
     """Pull/push primitives over a fabric + control plane."""
 
-    def __init__(self, fabric: Fabric, plane: Optional[ControlPlane] = None):
+    def __init__(
+        self,
+        fabric: Fabric,
+        plane: Optional[ControlPlane] = None,
+        metrics=None,
+    ):
+        """``metrics`` (a :class:`~repro.metrics.MetricsRegistry`) mirrors
+        the transport's counters into the observability layer: requests
+        issued/completed, retries, failures and end-to-end pull latency."""
         self.fabric = fabric
         self.plane = plane if plane is not None else ControlPlane(fabric)
+        self.metrics = metrics
         self._servers: Dict[Device, PullServer] = {}
-        self._pending: Dict[int, Event] = {}
+        # message_id -> (completion event, request time).
+        self._pending: Dict[int, tuple] = {}
         self.retries = 0
         self.failures = 0
 
@@ -211,7 +221,8 @@ class PullTransport:
                 payload_bytes=payload_bytes,
             )
             done = self.fabric.env.event()
-            self._pending[request.message_id] = done
+            self._pending[request.message_id] = (done, self.fabric.env.now)
+            self._count("pull.client.issued")
             self.plane.send(request)
             return done
         if timeout <= 0:
@@ -243,7 +254,8 @@ class PullTransport:
                 payload_bytes=payload_bytes,
             )
             done = env.event()
-            self._pending[request.message_id] = done
+            self._pending[request.message_id] = (done, env.now)
+            self._count("pull.client.issued")
             self.plane.send(request)
             yield AnyOf(env, [done, env.timeout(delay)])
             if done.triggered:
@@ -253,8 +265,10 @@ class PullTransport:
             self._pending.pop(request.message_id, None)
             if attempt < max_retries:
                 self.retries += 1
+                self._count("pull.client.retries")
                 delay *= backoff
         self.failures += 1
+        self._count("pull.client.failures")
         raise PullFailedError(requester, target, key, attempts)
 
     def push(
@@ -282,7 +296,20 @@ class PullTransport:
 
         return env.process(run(), name=f"push[{key}]")
 
+    def _count(self, name: str, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, **labels)
+
     def _complete(self, message_id: int) -> None:
-        done = self._pending.pop(message_id, None)
-        if done is not None and not done.triggered:
+        entry = self._pending.pop(message_id, None)
+        if entry is None:
+            return
+        done, requested_at = entry
+        if not done.triggered:
+            self._count("pull.client.completed")
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "pull.client.latency_s",
+                    self.fabric.env.now - requested_at,
+                )
             done.succeed()

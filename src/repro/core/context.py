@@ -70,6 +70,8 @@ class IterationContext:
         strategy_blocks=None,
         resilience=None,
         fault_stats=None,
+        metrics=None,
+        trace_worker=0,
     ):
         """``dc_blocks``: MoE block indices served by the Janus Task Queue
         (and thus need the schedulers).  Defaults to every MoE block.
@@ -89,6 +91,15 @@ class IterationContext:
         # :class:`~repro.faults.ResilienceConfig` arms timeouts/retries.
         self.resilience = resilience
         self.fault_stats = fault_stats
+        # Optional MetricsRegistry.  Instrumented sites guard on ``None``
+        # and only ever perform pure Python increments, so attaching a
+        # registry cannot change simulated timing.
+        self.metrics = metrics
+        # Rank whose per-expert activity lands on the trace's worker lanes.
+        self.trace_worker = trace_worker
+        # (machine, block, expert) cache keys already requested by some
+        # worker: first request per key is a miss, the rest are dedup hits.
+        self.cache_requested = set()
         # First fetch start per (machine, block): anchors the block deadline.
         self.block_fetch_began: Dict[Tuple[int, int], float] = {}
         layout = workload.layout

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..cluster import Cluster
 from ..faults import FaultInjector, FaultStats, ResilienceConfig
+from ..metrics import MetricsRegistry, collect_iteration_metrics
 from ..netsim import Fabric
 from ..simkit import AllOf, Environment
 from ..trace import TraceRecorder
@@ -56,6 +57,10 @@ class IterationResult:
     # Credit-buffer accounting (§5.1.1): final and minimum level per rank.
     credit_levels: Dict[int, float] = field(default_factory=dict)
     credit_min_levels: Dict[int, float] = field(default_factory=dict)
+    # Scope of this iteration's spans inside ``trace`` (0 for a fresh
+    # per-iteration recorder; the new_iteration() counter when the engine
+    # shares one recorder across iterations).
+    iteration: int = 0
 
     @property
     def paradigms(self) -> Dict[int, Paradigm]:
@@ -68,7 +73,7 @@ class IterationResult:
     @property
     def all_to_all_seconds(self) -> float:
         """Union time spent inside All-to-All collectives."""
-        return self.trace.busy_time("comm.a2a")
+        return self.trace.busy_time("comm.a2a", iteration=self.iteration)
 
     @property
     def cross_node_gb_per_machine(self) -> float:
@@ -98,6 +103,8 @@ class JanusEngine:
         fault_plan=None,
         resilience=None,
         degradation=None,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ):
         """``block_strategies`` maps every MoE block index to the strategy
         that executes it: a registered strategy name, a
@@ -124,7 +131,16 @@ class JanusEngine:
         no injected faults).  ``degradation``
         (:class:`~repro.faults.DegradationPolicy`) switches blocks that
         keep blowing their pull deadlines to the fallback strategy between
-        iterations of :meth:`run`."""
+        iterations of :meth:`run`.
+
+        ``metrics`` (:class:`~repro.metrics.MetricsRegistry`) enables
+        quantitative observability: live counters in the schedulers plus
+        a post-run harvest per iteration.  Attaching a registry never
+        changes simulated times.  ``trace`` shares one
+        :class:`~repro.trace.TraceRecorder` across every iteration this
+        engine runs (each iteration gets its own scope via
+        ``new_iteration()``); by default each iteration records into a
+        fresh recorder."""
         self.cluster = cluster
         self.workload = workload
         self.features = features if features is not None else JanusFeatures()
@@ -146,6 +162,9 @@ class JanusEngine:
         if self.resilience is None and fault_plan is not None and fault_plan:
             self.resilience = ResilienceConfig()
         self.degradation = degradation
+        self.metrics = metrics
+        self.trace_recorder = trace
+        self.iterations_run = 0
         moe_indices = {b.index for b in workload.moe_blocks()}
         if set(block_strategies) != moe_indices:
             raise ValueError(
@@ -195,7 +214,12 @@ class JanusEngine:
         self._jitter_rng = np.random.default_rng(self.jitter_seed)
         env = Environment()
         fabric = Fabric(env, self.cluster)
-        trace = TraceRecorder()
+        if self.trace_recorder is not None:
+            trace = self.trace_recorder
+            if self.iterations_run:
+                trace.new_iteration()
+        else:
+            trace = TraceRecorder()
         fault_stats = None
         if self.fault_plan is not None or self.resilience is not None:
             fault_stats = FaultStats()
@@ -228,6 +252,8 @@ class JanusEngine:
             },
             resilience=self.resilience,
             fault_stats=fault_stats,
+            metrics=self.metrics,
+            trace_worker=self.trace_worker,
         )
         for strategy in strategies.values():
             strategy.setup(ctx, forward_only)
@@ -262,7 +288,7 @@ class JanusEngine:
                 for machine in range(self.cluster.num_machines)
             ]
         )
-        return IterationResult(
+        result = IterationResult(
             seconds=env.now,
             trace=trace,
             nic_egress_bytes=egress,
@@ -277,7 +303,15 @@ class JanusEngine:
                 rank: container.min_level
                 for rank, container in ctx.credits.items()
             },
+            iteration=trace.iteration,
         )
+        if self.metrics is not None:
+            collect_iteration_metrics(
+                self.metrics, result, fabric, ctx,
+                iteration=self.iterations_run,
+            )
+        self.iterations_run += 1
+        return result
 
     def run(self, iterations: int = 1) -> List[IterationResult]:
         results = []

@@ -26,8 +26,23 @@ class InterNodeScheduler:
     def __init__(self, ctx: IterationContext, machine: int):
         self.ctx = ctx
         self.machine = machine
+        self.metrics = ctx.metrics
         self.host = Device.host(machine)
         self.num_nics = ctx.fabric.cluster.spec.num_nics
+
+    def _account_fetch(
+        self, nic: int, block: int, expert: int, started: float
+    ) -> None:
+        """Book one completed cross-machine cache fill (observation only)."""
+        ctx = self.ctx
+        now = ctx.env.now
+        if self.metrics is not None:
+            self.metrics.inc("fetch.issued", machine=self.machine)
+            self.metrics.observe("fetch.latency_s", now - started)
+        ctx.trace.record(
+            "comm.fetch", started, now, block=block,
+            detail=f"machine={self.machine} nic={nic} expert={expert}",
+        )
 
     def moe_blocks(self, reverse: bool = False) -> List[int]:
         indices = list(self.ctx.dc_block_indices)
@@ -78,6 +93,7 @@ class InterNodeScheduler:
             return
         for block, expert in tasks:
             yield self._fetch_gate(block)
+            started = ctx.env.now
             owner = ctx.placements[block].owner(expert)
             owner_machine = ctx.layout.machine_of(owner)
             # Control plane (§6): the pull request travels to the expert's
@@ -101,6 +117,7 @@ class InterNodeScheduler:
             )
             yield flow.done
             ctx.cache_fills[self.machine] += 1
+            self._account_fetch(nic, block, expert, started)
             cached = ctx.cached_event(block, self.machine, expert)
             if not cached.triggered:
                 cached.succeed()
@@ -120,6 +137,7 @@ class InterNodeScheduler:
         env = ctx.env
         for block, expert in tasks:
             yield self._fetch_gate(block)
+            started = env.now
             began = ctx.block_fetch_began.setdefault(
                 (self.machine, block), env.now
             )
@@ -171,6 +189,7 @@ class InterNodeScheduler:
                 break
             if fetched:
                 ctx.cache_fills[self.machine] += 1
+                self._account_fetch(nic, block, expert, started)
             else:
                 if res.on_failure == "raise":
                     raise PullFailedError(

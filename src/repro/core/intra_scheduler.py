@@ -35,6 +35,7 @@ class IntraNodeScheduler:
     def __init__(self, ctx: IterationContext, rank: int):
         self.ctx = ctx
         self.rank = rank
+        self.metrics = ctx.metrics
         self.machine = ctx.layout.machine_of(rank)
         self.local_rank = ctx.layout.local_rank_of(rank)
         self.host = Device.host(self.machine)
@@ -49,6 +50,21 @@ class IntraNodeScheduler:
     def moe_blocks(self, phase: str) -> List[int]:
         indices = list(self.ctx.dc_block_indices)
         return indices if phase == "fwd" else list(reversed(indices))
+
+    def _account_pull(self, kind: str, block: int, started: float) -> None:
+        """Book one completed pull: counter + latency histogram + a trace
+        span on the traced worker's ``comm.pull`` lane.  Pure observation —
+        never touches the simulation clock."""
+        ctx = self.ctx
+        now = ctx.env.now
+        if self.metrics is not None:
+            self.metrics.inc("pull.issued", kind=kind)
+            self.metrics.observe("pull.latency_s", now - started, kind=kind)
+        if self.rank == ctx.trace_worker:
+            ctx.trace.record(
+                "comm.pull", started, now,
+                worker=self.rank, block=block, detail=kind,
+            )
 
     def pull_pipeline(self, phase: str):
         """The worker's pull queue: per block, stage-1 internal NVLink pulls
@@ -66,6 +82,7 @@ class IntraNodeScheduler:
         ctx = self.ctx
         for expert in self._internal_order(block):
             yield ctx.credits[self.rank].get(1)
+            started = ctx.env.now
             if phase == "fwd":
                 owner = ctx.placements[block].owner(expert)
                 flow = ctx.fabric.transfer(
@@ -82,6 +99,9 @@ class IntraNodeScheduler:
                     tag=("pull-backward", block, self.rank, expert),
                 )
             yield flow.done
+            self._account_pull(
+                "internal" if phase == "fwd" else "backward", block, started
+            )
             ctx.mark_ready(phase, block, self.rank, expert)
 
     def _internal_order(self, block: int) -> List[int]:
@@ -118,10 +138,12 @@ class IntraNodeScheduler:
         placement = ctx.placements[block]
         for expert in needed:
             yield ctx.credits[self.rank].get(1)
+            started = ctx.env.now
             if phase == "fwd":
                 owner = placement.owner(expert)
                 if ctx.resilience is not None:
                     yield from self._resilient_direct_pull(block, expert, owner)
+                    self._account_pull("direct", block, started)
                     ctx.mark_ready(phase, block, self.rank, expert)
                     continue
                 flow = ctx.fabric.transfer(
@@ -138,6 +160,9 @@ class IntraNodeScheduler:
                     tag=("pull-backward", block, self.rank, expert),
                 )
             yield flow.done
+            self._account_pull(
+                "direct" if phase == "fwd" else "backward", block, started
+            )
             ctx.mark_ready(phase, block, self.rank, expert)
 
     def _resilient_direct_pull(self, block: int, expert: int, owner: int):
@@ -213,10 +238,12 @@ class IntraNodeScheduler:
                 and step.expert in peer_needed
             )
             if phase == "fwd":
+                self._account_cache_request(block, step.expert)
                 yield ctx.cached_event(block, self.machine, step.expert)
             # Backward: the expert already sits in host memory from the
             # forward offload, so there is nothing to wait for.
             yield ctx.credits[self.rank].get(1)
+            started = ctx.env.now
             if via_peer:
                 yield ctx.ready_event("fwd", block, self.peer_rank, step.expert)
                 flow = ctx.fabric.transfer(
@@ -233,4 +260,28 @@ class IntraNodeScheduler:
                     tag=("pull-pcie", block, self.rank, step.expert),
                 )
             yield flow.done
+            if phase == "fwd":
+                kind = "peer" if via_peer else "pcie"
+            else:
+                kind = "backward"
+            self._account_pull(kind, block, started)
             ctx.mark_ready(phase, block, self.rank, step.expert)
+
+    def _account_cache_request(self, block: int, expert: int) -> None:
+        """Cache-manager dedup accounting (§5.1.2): the first worker to
+        ask for a (machine, block, expert) key is the miss that triggers
+        the one cross-machine fetch; every later request is a hit served
+        by the machine cache, saving one expert payload over the NICs."""
+        ctx = self.ctx
+        if self.metrics is None:
+            return
+        self.metrics.inc("cache.requests")
+        key = (self.machine, block, expert)
+        if key in ctx.cache_requested:
+            self.metrics.inc("cache.hits")
+            self.metrics.inc(
+                "cache.dedup_bytes_saved", ctx.workload.expert_bytes
+            )
+        else:
+            ctx.cache_requested.add(key)
+            self.metrics.inc("cache.misses")

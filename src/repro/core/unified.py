@@ -120,6 +120,8 @@ def unified_engine(
     fault_plan=None,
     resilience=None,
     degradation=None,
+    metrics=None,
+    trace=None,
 ) -> JanusEngine:
     """Full Janus: per-block strategy by R (see :func:`strategy_map`)."""
     return JanusEngine(
@@ -134,6 +136,8 @@ def unified_engine(
         fault_plan=fault_plan,
         resilience=resilience,
         degradation=degradation,
+        metrics=metrics,
+        trace=trace,
     )
 
 
@@ -149,6 +153,8 @@ def strategy_engine(
     fault_plan=None,
     resilience=None,
     degradation=None,
+    metrics=None,
+    trace=None,
 ) -> JanusEngine:
     """Every MoE block under one registered block strategy."""
     name = resolve_strategy_name(strategy)
@@ -161,6 +167,8 @@ def strategy_engine(
         fault_plan=fault_plan,
         resilience=resilience,
         degradation=degradation,
+        metrics=metrics,
+        trace=trace,
     )
 
 

@@ -1,0 +1,44 @@
+"""Quantitative observability for the simulated training stack.
+
+* :class:`MetricsRegistry` — counters, gauges and histograms, threaded
+  through the engine, both schedulers, the comm/pull layer, the netsim
+  fabric and the simkit kernel (pass ``metrics=`` to
+  :class:`~repro.core.engine.JanusEngine` or any engine constructor).
+* :mod:`~repro.metrics.collect` — per-iteration derived KPIs (overlap
+  efficiency, link utilization, credit occupancy, cache dedup).
+* :mod:`~repro.metrics.chrome_trace` — Trace Event Format export for
+  ``chrome://tracing`` / Perfetto.
+* :mod:`~repro.metrics.report` — the versioned machine-readable run
+  report behind ``--metrics-out`` and ``repro report``.
+"""
+
+from .chrome_trace import chrome_trace, write_chrome_trace
+from .collect import (
+    collect_iteration_metrics,
+    comm_busy_time,
+    compute_busy_time,
+    overlap_efficiency,
+)
+from .registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from .report import (
+    SCHEMA,
+    build_run_report,
+    iteration_summary,
+    write_run_report,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA",
+    "build_run_report",
+    "chrome_trace",
+    "collect_iteration_metrics",
+    "comm_busy_time",
+    "compute_busy_time",
+    "iteration_summary",
+    "overlap_efficiency",
+    "write_chrome_trace",
+    "write_run_report",
+]

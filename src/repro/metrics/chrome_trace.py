@@ -1,0 +1,144 @@
+"""Chrome-trace / Perfetto export of recorded spans and metrics.
+
+Produces the Trace Event Format JSON that ``chrome://tracing`` and
+https://ui.perfetto.dev load directly: complete (``"ph": "X"``) events for
+spans, instant (``"ph": "i"``) events for point marks, counter
+(``"ph": "C"``) samples for registry counters, and metadata (``"ph": "M"``)
+events naming the process and per-worker threads.  Timestamps are
+microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .registry import MetricsRegistry
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_US = 1e6          # simulated seconds -> trace microseconds
+_GLOBAL_TID = 0    # lane for spans with no worker attribution (coordinators)
+
+
+def _tid(worker: Optional[int]) -> int:
+    return _GLOBAL_TID if worker is None else worker + 1
+
+
+def chrome_trace(
+    trace,
+    registry: Optional[MetricsRegistry] = None,
+    process_name: str = "janus-sim",
+) -> Dict:
+    """Convert a :class:`~repro.trace.TraceRecorder` to a trace dict."""
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": _GLOBAL_TID,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": _GLOBAL_TID,
+            "args": {"name": "coordinators"},
+        },
+    ]
+    workers = sorted(
+        {span.worker for span in trace.spans if span.worker is not None}
+        | {
+            event["worker"]
+            for event in trace.events
+            if event.get("worker") is not None
+        }
+    )
+    for worker in workers:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": 0,
+                "tid": _tid(worker),
+                "args": {"name": f"worker {worker}"},
+            }
+        )
+
+    end_ts = 0.0
+    for span in trace.spans:
+        args = {"iteration": span.iteration}
+        if span.block is not None:
+            args["block"] = span.block
+        if span.detail is not None:
+            args["detail"] = span.detail
+        events.append(
+            {
+                "name": span.kind,
+                "cat": span.kind.split(".", 1)[0],
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": 0,
+                "tid": _tid(span.worker),
+                "args": args,
+            }
+        )
+        end_ts = max(end_ts, span.end * _US)
+
+    for event in trace.events:
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("name", "time", "worker")
+        }
+        events.append(
+            {
+                "name": event["name"],
+                "cat": event["name"].split(".", 1)[0],
+                "ph": "i",
+                "s": "t",
+                "ts": event["time"] * _US,
+                "pid": 0,
+                "tid": _tid(event.get("worker")),
+                "args": args,
+            }
+        )
+        end_ts = max(end_ts, event["time"] * _US)
+
+    if registry is not None:
+        for name in registry.counter_names():
+            series = {
+                MetricsRegistry._label_text(key) or "value": value
+                for key, value in registry.series(name).items()
+            }
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": end_ts,
+                    "pid": 0,
+                    "tid": _GLOBAL_TID,
+                    "args": series,
+                }
+            )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path,
+    trace,
+    registry: Optional[MetricsRegistry] = None,
+    process_name: str = "janus-sim",
+) -> Dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the dict."""
+    document = chrome_trace(trace, registry, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document

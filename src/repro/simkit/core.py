@@ -188,6 +188,7 @@ class Process(Event):
         # Daemon processes (e.g. server listen loops) are expected to stay
         # blocked forever and are exempt from stall detection.
         self.daemon = daemon
+        env.processes_started += 1
         env._alive.add(self)
         Initialize(env, self)
 
@@ -326,6 +327,10 @@ class Environment:
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._alive: set = set()
+        # Kernel accounting (harvested by repro.metrics; never read by the
+        # simulation itself).
+        self.events_processed = 0
+        self.processes_started = 0
 
     @property
     def now(self) -> float:
@@ -381,6 +386,7 @@ class Environment:
             raise SimulationError("no more events to process")
         time, _priority, _eid, event = heapq.heappop(self._queue)
         self._now = time
+        self.events_processed += 1
         event._process_callbacks()
 
     def run(self, until: Any = None) -> Any:

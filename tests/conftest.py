@@ -1,0 +1,59 @@
+"""Shared test factories (importable as ``tests.conftest``).
+
+Plain functions rather than pytest fixtures so call sites can parameterize
+them (``small_config(batch_size=8)``) and so the golden-metrics and
+property suites share exactly the configurations the engine tests lock.
+The benchmarks' engine-run cache (``benchmarks/engine_cache.py``) is made
+importable too, so tests can reuse its cached Fig. 14-scale runs instead
+of re-simulating them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.cluster import Cluster, MachineSpec
+from repro.config import ModelConfig
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
+
+
+def small_config(**overrides) -> ModelConfig:
+    """The engine-test model: 4 blocks, MoE blocks {1, 3} with 4 experts."""
+    defaults = dict(
+        name="small",
+        batch_size=16,
+        seq_len=32,
+        top_k=2,
+        hidden_dim=64,
+        num_blocks=4,
+        experts_per_block={1: 4, 3: 4},
+        num_heads=4,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+def small_cluster(machines: int = 2, gpus: int = 2) -> Cluster:
+    return Cluster(machines, MachineSpec(num_gpus=gpus))
+
+
+def tiny_model_config(**overrides) -> ModelConfig:
+    """Numerics-scale model: small enough to run real forward/backward."""
+    defaults = dict(
+        name="tiny",
+        batch_size=2,
+        seq_len=6,
+        top_k=2,
+        hidden_dim=16,
+        num_blocks=3,
+        experts_per_block={1: 4},
+        num_heads=4,
+        vocab_size=50,
+        causal=True,
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)

@@ -121,3 +121,67 @@ class TestCommands:
         ])
         assert code == 1
         assert "out of memory" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    SMALL = ["--model", "moe-gpt", "--experts", "16", "--machines", "2",
+             "--batch-size", "8"]
+
+    def test_simulate_writes_report_and_trace(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "simulate", *self.SMALL,
+            "--metrics-out", str(report_path),
+            "--trace-out", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run report written" in out
+        assert "Chrome trace written" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "janus-repro/run-report/v1"
+        assert len(report["iterations"]) == 1
+        assert report["run"]["model"] == "MoE-GPT"
+        assert "metrics" in report
+        trace = json.loads(trace_path.read_text())
+        assert {"X", "M"} <= {e["ph"] for e in trace["traceEvents"]}
+
+    def test_simulate_without_export_flags_writes_nothing(self, tmp_path,
+                                                          capsys):
+        assert main(["simulate", *self.SMALL]) == 0
+        assert "written" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_report_command_writes_multi_iteration_report(self, tmp_path,
+                                                          capsys):
+        import json
+
+        out_path = tmp_path / "run.json"
+        assert main([
+            "report", *self.SMALL, "--iterations", "2",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Iter" in out  # summary table header
+        report = json.loads(out_path.read_text())
+        assert len(report["iterations"]) == 2
+        assert report["run"]["iterations"] == 2
+
+    def test_report_command_stdout_mode(self, capsys):
+        assert main([
+            "report", *self.SMALL, "--iterations", "1", "--out", "-",
+        ]) == 0
+        assert '"schema"' in capsys.readouterr().out
+
+    def test_report_command_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "report", *self.SMALL, "--iterations", "1",
+            "--out", str(tmp_path / "r.json"), "--trace-out", str(trace_path),
+        ]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]

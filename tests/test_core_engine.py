@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster import Cluster, MachineSpec
 from repro.config import ModelConfig
 from repro.core import (
     JanusEngine,
@@ -18,23 +17,7 @@ from repro.core import (
 )
 
 
-def small_config(**overrides):
-    defaults = dict(
-        name="small",
-        batch_size=16,
-        seq_len=32,
-        top_k=2,
-        hidden_dim=64,
-        num_blocks=4,
-        experts_per_block={1: 4, 3: 4},
-        num_heads=4,
-    )
-    defaults.update(overrides)
-    return ModelConfig(**defaults)
-
-
-def small_cluster(machines=2, gpus=2):
-    return Cluster(machines, MachineSpec(num_gpus=gpus))
+from tests.conftest import small_cluster, small_config  # noqa: E402
 
 
 class TestEngineBasics:

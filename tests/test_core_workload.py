@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import Cluster, MachineSpec
-from repro.config import ModelConfig, moe_bert
+from repro.config import moe_bert
 from repro.core import build_workload
 from repro.workloads import (
     assignment_imbalance,
@@ -14,10 +14,12 @@ from repro.workloads import (
 )
 
 
+from tests.conftest import small_config as _small_config  # noqa: E402
+
+
 def small_config():
-    return ModelConfig(
-        name="small", batch_size=8, seq_len=16, top_k=2, hidden_dim=64,
-        num_blocks=4, experts_per_block={1: 8, 3: 8}, num_heads=4,
+    return _small_config(
+        batch_size=8, seq_len=16, experts_per_block={1: 8, 3: 8}
     )
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import ModelConfig
 from repro.models import (
     Expert,
     MoELayer,
@@ -23,21 +22,7 @@ from repro.tensorlib import Tensor
 RNG = np.random.default_rng(3)
 
 
-def tiny_config(**overrides) -> ModelConfig:
-    defaults = dict(
-        name="tiny",
-        batch_size=2,
-        seq_len=6,
-        top_k=2,
-        hidden_dim=16,
-        num_blocks=3,
-        experts_per_block={1: 4},
-        num_heads=4,
-        vocab_size=50,
-        causal=True,
-    )
-    defaults.update(overrides)
-    return ModelConfig(**defaults)
+from tests.conftest import tiny_model_config as tiny_config  # noqa: E402
 
 
 class TestAttention:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import ModelConfig
 from repro.runtime import DistributedMoETransformer, RankLayout
 from repro.runtime.trainer import (
     DistributedTrainer,
@@ -16,12 +15,11 @@ from repro.workloads import target_batches, token_batches
 RNG = np.random.default_rng(4)
 
 
+from tests.conftest import tiny_model_config  # noqa: E402
+
+
 def tiny_config():
-    return ModelConfig(
-        name="trainer-test", batch_size=3, seq_len=6, top_k=2, hidden_dim=16,
-        num_blocks=3, experts_per_block={1: 4}, num_heads=4, vocab_size=48,
-        causal=True,
-    )
+    return tiny_model_config(name="trainer-test", batch_size=3, vocab_size=48)
 
 
 def make_trainer(paradigm="data-centric", **kwargs):

@@ -75,3 +75,102 @@ class TestTraceRecorder:
         trace.clear()
         assert not trace.spans
         assert not trace.events
+
+
+class TestIterationScoping:
+    """A recorder shared across iterations must never double-count."""
+
+    def test_new_iteration_stamps_subsequent_records(self):
+        trace = TraceRecorder()
+        trace.record("comm.a2a", 0, 1)
+        assert trace.new_iteration() == 1
+        trace.record("comm.a2a", 0, 2)
+        trace.mark("block_complete", 1.5, worker=0, block=0)
+        assert [span.iteration for span in trace.spans] == [0, 1]
+        assert trace.events[-1]["iteration"] == 1
+
+    def test_queries_filter_by_iteration(self):
+        trace = TraceRecorder()
+        trace.record("comm.a2a", 0, 1)
+        trace.new_iteration()
+        trace.record("comm.a2a", 0, 2)
+        assert trace.busy_time("comm.a2a", iteration=0) == 1
+        assert trace.busy_time("comm.a2a", iteration=1) == 2
+        assert trace.total_time("comm.a2a", iteration=1) == 2
+        assert len(trace.spans_of("comm.a2a", iteration=0)) == 1
+        # Default scope still covers the whole recording.
+        assert trace.busy_time("comm.a2a") == 2  # intervals overlap
+
+    def test_events_and_completions_filter_by_iteration(self):
+        trace = TraceRecorder()
+        trace.mark("block_complete", 1.0, worker=0, block=0)
+        trace.mark("expert_ready", 0.5, worker=0, expert=2)
+        trace.new_iteration()
+        trace.mark("block_complete", 2.0, worker=0, block=0)
+        assert trace.block_completions(iteration=0) == {0: 1.0}
+        assert trace.block_completions(iteration=1) == {0: 2.0}
+        assert trace.block_completions() == {0: 2.0}
+        assert len(trace.expert_arrivals(iteration=1)) == 0
+        assert len(trace.expert_arrivals(iteration=0)) == 1
+
+    def test_worker_busy_time_scopes(self):
+        trace = TraceRecorder()
+        trace.record("compute.dense", 0, 1, worker=0)
+        trace.new_iteration()
+        trace.record("compute.dense", 2, 4, worker=0)
+        assert trace.worker_busy_time(0, iteration=0) == 1
+        assert trace.worker_busy_time(0, iteration=1) == 2
+        assert trace.worker_busy_time(0) == 3
+
+    def test_clear_resets_the_scope(self):
+        trace = TraceRecorder()
+        trace.new_iteration()
+        trace.clear()
+        assert trace.iteration == 0
+        trace.record("x", 0, 1)
+        assert trace.spans[0].iteration == 0
+
+    def test_busy_union_merges_across_prefixes(self):
+        trace = TraceRecorder()
+        trace.record("comm.a2a", 0, 2)
+        trace.record("compute.dense", 1, 3)
+        assert trace.busy_union("comm.", "compute.") == 3
+        assert trace.busy_union("comm.") == 2
+
+
+class TestEngineSharedRecorder:
+    """Engine-level regression: per-iteration queries on a shared recorder
+    return the same numbers as per-iteration fresh recorders."""
+
+    def test_shared_recorder_does_not_double_count(self):
+        import numpy as np
+
+        from repro.core import engine_for
+        from tests.conftest import small_cluster, small_config
+
+        def build(trace=None):
+            return engine_for(
+                "expert-centric", small_config(), small_cluster(),
+                rng=np.random.default_rng(0), imbalance=0.3, trace=trace,
+            )
+
+        fresh = build().run(2)
+        shared_trace = TraceRecorder()
+        shared = build(shared_trace).run(2)
+
+        assert [result.iteration for result in shared] == [0, 1]
+        for fresh_result, shared_result in zip(fresh, shared):
+            assert (
+                shared_result.all_to_all_seconds
+                == fresh_result.all_to_all_seconds
+            )
+        # The unscoped union is NOT the sum of iterations (spans overlap on
+        # the simulated clock); the scoped queries are what Fig. 3 needs.
+        per_iteration = [
+            shared_trace.busy_time("comm.a2a", iteration=i) for i in (0, 1)
+        ]
+        assert per_iteration[0] == per_iteration[1] > 0
+        assert shared_trace.busy_time("comm.a2a") < sum(per_iteration)
+        assert shared_trace.block_completions(
+            worker=0, iteration=0
+        ) == shared_trace.block_completions(worker=0, iteration=1)
