@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench baseline baseline-write coverage chaos \
-	reports examples clean
+.PHONY: install test lint bench bench-check bench-write figs profile \
+	baseline baseline-write coverage chaos reports examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,7 +14,24 @@ test:
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
 
+# Wall-clock benchmark of the simulator itself (host time, not simulated
+# time); snapshot + history live in benchmarks/BENCH_speed.json.
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench
+
+bench-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --quick --check
+
+bench-write:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --write
+
+# cProfile the hottest Fig. 14 config (top 25 by cumulative time).
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro.cli simulate \
+		--model moe-gpt --paradigm data-centric --profile
+
+# pytest-benchmark figure battery (simulated-time comparisons).
+figs:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Perf-regression gate: fresh metric capture vs benchmarks/BENCH_metrics.json.
@@ -37,7 +54,7 @@ chaos:
 		--benchmark-only -q
 	@cat benchmarks/reports/chaos_resilience.txt
 
-reports: bench
+reports: figs
 	@cat benchmarks/reports/*.txt
 
 examples:

@@ -76,11 +76,26 @@ def _capture_one(model: str, mode: str) -> dict:
     return metrics
 
 
-def capture() -> dict:
-    runs = {}
-    for model in sorted(MODEL_FACTORIES):
-        for mode in MODES:
-            runs[f"{model}/{mode}"] = _capture_one(model, mode)
+def _capture_job(key: str) -> tuple:
+    model, mode = key.split("/", 1)
+    return key, _capture_one(model, mode)
+
+
+def capture(jobs: int = 1) -> dict:
+    keys = [
+        f"{model}/{mode}"
+        for model in sorted(MODEL_FACTORIES)
+        for mode in MODES
+    ]
+    jobs = max(1, min(int(jobs), len(keys)))
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = dict(pool.map(_capture_job, keys))
+    else:
+        results = dict(_capture_job(key) for key in keys)
+    runs = {key: results[key] for key in keys}
     return {
         "schema": SCHEMA,
         "config": {"experts": EXPERTS, "machines": MACHINES,
@@ -128,9 +143,11 @@ def main(argv=None) -> int:
                         help="relative tolerance band for --check")
     parser.add_argument("--path", type=Path, default=BASELINE_PATH,
                         help="baseline file location")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="capture configs in parallel worker processes")
     args = parser.parse_args(argv)
 
-    current = capture()
+    current = capture(jobs=args.jobs)
     if args.write:
         args.path.write_text(json.dumps(current, indent=1, sort_keys=True) + "\n")
         print(f"baseline written to {args.path} "

@@ -1,0 +1,40 @@
+"""Wall-clock benchmark harness for the simulation core.
+
+Everything else in the repo measures *simulated* time; this package is the
+one place that measures *host* time — how long the simulator itself takes
+to run — so hot-path optimizations have a number to move and regressions
+have a number to trip on.  The committed snapshot lives in
+``benchmarks/BENCH_speed.json`` and carries a history list: the wall-clock
+perf trajectory of the project.
+
+Entry points: ``repro bench`` (CLI) and ``make bench`` / ``make
+bench-check``.
+"""
+
+from .speed import (
+    DEFAULT_SNAPSHOT_PATH,
+    FULL_CONFIGS,
+    QUICK_CONFIGS,
+    SCHEMA,
+    BenchConfig,
+    calibrate,
+    check_snapshot,
+    format_suite,
+    run_suite,
+    time_config,
+    write_snapshot,
+)
+
+__all__ = [
+    "BenchConfig",
+    "DEFAULT_SNAPSHOT_PATH",
+    "FULL_CONFIGS",
+    "QUICK_CONFIGS",
+    "SCHEMA",
+    "calibrate",
+    "check_snapshot",
+    "format_suite",
+    "run_suite",
+    "time_config",
+    "write_snapshot",
+]

@@ -13,6 +13,9 @@ Commands:
   machine-readable run report (and optionally a Perfetto-loadable trace).
 * ``chaos``    — sweep pull-loss rates across paradigms and report
   iteration time, retries and stale fallbacks (graceful degradation).
+* ``bench``    — wall-clock benchmark of the simulator itself: median
+  s/run and kernel events/sec per Fig.-14 config, parallel multi-config
+  fan-out, and a regression check against ``benchmarks/BENCH_speed.json``.
 * ``table1``   — regenerate the paper's Table 1 traffic comparison.
 * ``goodput``  — the §3.1 All-to-All goodput stress test.
 
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import format_table, table1
@@ -158,12 +162,27 @@ def cmd_simulate(args) -> int:
         trace = TraceRecorder()
         kwargs["metrics"] = registry
         kwargs["trace"] = trace
+    profiler = None
     try:
         engine = engine_for(args.paradigm, config, cluster, **kwargs)
-        result = engine.run_iteration(forward_only=args.inference)
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+        try:
+            result = engine.run_iteration(forward_only=args.inference)
+        finally:
+            if profiler is not None:
+                profiler.disable()
     except _SIMULATION_ERRORS as exc:
         print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
         return 1
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
     if args.metrics_out is not None:
         report = build_run_report(
             [result], registry,
@@ -293,6 +312,63 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Wall-clock benchmark of the simulator (``BENCH_speed.json``)."""
+    import json
+
+    from .bench import (
+        DEFAULT_SNAPSHOT_PATH,
+        FULL_CONFIGS,
+        QUICK_CONFIGS,
+        check_snapshot,
+        format_suite,
+        run_suite,
+        write_snapshot,
+    )
+
+    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+    runs = args.runs if args.runs is not None else (1 if args.quick else 3)
+    jobs = args.jobs
+    if jobs is None:
+        import os
+
+        try:
+            jobs = len(os.sched_getaffinity(0))
+        except AttributeError:
+            jobs = os.cpu_count() or 1
+    current = run_suite(configs, runs=runs, jobs=jobs)
+    print(format_suite(current))
+    path = Path(args.path) if args.path is not None else DEFAULT_SNAPSHOT_PATH
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps(current, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"capture written to {args.out}")
+    if args.write:
+        write_snapshot(path, current)
+        print(f"snapshot written to {path} ({len(current['runs'])} configs)")
+        return 0
+    if args.check:
+        if not path.exists():
+            print(f"no snapshot at {path}; run --write first", file=sys.stderr)
+            return 2
+        snapshot = json.loads(path.read_text())
+        problems = check_snapshot(current, snapshot, tolerance=args.tolerance)
+        if problems:
+            print(
+                f"bench regression ({len(problems)} config(s)):",
+                file=sys.stderr,
+            )
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(
+            f"bench OK: {len(current['runs'])} config(s) within "
+            f"{args.tolerance:.0%} of {path.name}"
+        )
+    return 0
+
+
 def cmd_table1(args) -> int:
     rows = table1(TABLE1_MODELS)
     print(format_table(
@@ -356,6 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
              "@start:end in simulated seconds)",
     )
     simulate.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top-25 functions by "
+             "cumulative time (hot-path work starts from data)",
+    )
+    simulate.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the machine-readable run report (JSON) here",
     )
@@ -402,6 +483,31 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0,
                        help="fault-plan RNG seed")
     chaos.set_defaults(func=cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="wall-clock benchmark of the simulator itself"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke subset (MoE-GPT, 3 paradigms)")
+    bench.add_argument("--runs", type=_positive_int, default=None,
+                       help="timed runs per config (default 3; 1 in --quick)")
+    bench.add_argument("--jobs", type=_positive_int, default=None,
+                       help="worker processes for the multi-config fan-out "
+                            "(default: available cpus)")
+    bench.add_argument("--write", action="store_true",
+                       help="write the committed snapshot (preserves history)")
+    bench.add_argument("--check", action="store_true",
+                       help="fail when a median regresses past --tolerance "
+                            "vs the committed snapshot")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="relative regression band for --check")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="also dump the fresh capture JSON here")
+    bench.add_argument(
+        "--path", type=Path, default=None,
+        help="snapshot location (default benchmarks/BENCH_speed.json)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     table = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table.set_defaults(func=cmd_table1)

@@ -130,7 +130,9 @@ class PullServer:
                 daemon=True,
             )
             self._inflight.add(proc)
-            proc.callbacks.append(lambda _evt, p=proc: self._inflight.discard(p))
+            # The completion event IS the process, so the bound discard can
+            # serve as the callback directly — no closure per serve.
+            proc.callbacks.append(self._inflight.discard)
 
     def _serve(self, request: PullRequest):
         try:

@@ -167,6 +167,10 @@ class IterationContext:
         }
 
         self.iteration_start = env.event()
+        # Routing is fixed for the whole iteration, so the needed_* helpers
+        # are pure in (block, rank); memoize them — they sit on the pull
+        # scheduling hot path.  Callers only iterate the lists.
+        self._routing_cache: Dict[Tuple[str, int, int], List[int]] = {}
 
     # -- strategy helpers ------------------------------------------------------
 
@@ -178,32 +182,47 @@ class IterationContext:
 
     def needed_experts(self, block_index: int, rank: int) -> List[int]:
         """Non-resident experts worker ``rank`` must obtain for the block."""
-        block = self.workload.blocks[block_index]
-        placement = self.placements[block_index]
-        routing = block.routing[rank]
-        return [
-            expert
-            for expert in range(block.num_experts)
-            if routing[expert] > 0 and placement.owner(expert) != rank
-        ]
+        key = ("need", block_index, rank)
+        cached = self._routing_cache.get(key)
+        if cached is None:
+            block = self.workload.blocks[block_index]
+            placement = self.placements[block_index]
+            routing = block.routing[rank]
+            cached = [
+                expert
+                for expert in range(block.num_experts)
+                if routing[expert] > 0 and placement.owner(expert) != rank
+            ]
+            self._routing_cache[key] = cached
+        return cached
 
     def needed_internal(self, block_index: int, rank: int) -> List[int]:
-        placement = self.placements[block_index]
-        machine = self.layout.machine_of(rank)
-        return [
-            expert
-            for expert in self.needed_experts(block_index, rank)
-            if self.layout.machine_of(placement.owner(expert)) == machine
-        ]
+        key = ("int", block_index, rank)
+        cached = self._routing_cache.get(key)
+        if cached is None:
+            placement = self.placements[block_index]
+            machine = self.layout.machine_of(rank)
+            cached = [
+                expert
+                for expert in self.needed_experts(block_index, rank)
+                if self.layout.machine_of(placement.owner(expert)) == machine
+            ]
+            self._routing_cache[key] = cached
+        return cached
 
     def needed_external(self, block_index: int, rank: int) -> List[int]:
-        placement = self.placements[block_index]
-        machine = self.layout.machine_of(rank)
-        return [
-            expert
-            for expert in self.needed_experts(block_index, rank)
-            if self.layout.machine_of(placement.owner(expert)) != machine
-        ]
+        key = ("ext", block_index, rank)
+        cached = self._routing_cache.get(key)
+        if cached is None:
+            placement = self.placements[block_index]
+            machine = self.layout.machine_of(rank)
+            cached = [
+                expert
+                for expert in self.needed_experts(block_index, rank)
+                if self.layout.machine_of(placement.owner(expert)) != machine
+            ]
+            self._routing_cache[key] = cached
+        return cached
 
     def own_experts_with_tokens(self, block_index: int, rank: int) -> List[int]:
         block = self.workload.blocks[block_index]

@@ -61,6 +61,9 @@ class IterationResult:
     # per-iteration recorder; the new_iteration() counter when the engine
     # shares one recorder across iterations).
     iteration: int = 0
+    # Kernel events processed while simulating this iteration (wall-clock
+    # benchmarking divides these by seconds-of-host-time for events/sec).
+    sim_events: int = 0
 
     @property
     def paradigms(self) -> Dict[int, Paradigm]:
@@ -304,6 +307,7 @@ class JanusEngine:
                 for rank, container in ctx.credits.items()
             },
             iteration=trace.iteration,
+            sim_events=env.events_processed,
         )
         if self.metrics is not None:
             collect_iteration_metrics(

@@ -37,6 +37,10 @@ class Fabric:
         }
         # Set by FaultInjector.install(); None on the (default) happy path.
         self.fault_injector = None
+        # Routes are a pure function of the immutable topology; memoize
+        # (src, dst, nic_index) -> (path tuple, summed latency) so repeated
+        # transfers skip the LinkId construction and latency sum.
+        self._route_cache: Dict[tuple, tuple] = {}
 
     # -- communication -------------------------------------------------------
 
@@ -56,10 +60,14 @@ class Fabric:
             dropped = self.fault_injector.intercept(src, dst, size, tag)
             if dropped is not None:
                 return dropped
-        path = self.cluster.route(src, dst, nic_index=nic_index)
-        return self.network.transfer(
-            path, size, latency=self.path_latency(path), tag=tag
-        )
+        key = (src, dst, nic_index)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            path = tuple(self.cluster.route(src, dst, nic_index=nic_index))
+            cached = (path, self.path_latency(path))
+            self._route_cache[key] = cached
+        path, latency = cached
+        return self.network.transfer(path, size, latency=latency, tag=tag)
 
     def transfer_proc(self, src: Device, dst: Device, size: float, **kwargs):
         """Process form of :meth:`transfer` (``yield env.process(...)``)."""

@@ -12,9 +12,24 @@ pulls.
 Per-flow latency (the sum of link latencies on the path) is charged once, as
 a startup delay before the flow begins moving bytes.
 
-Implementation note: link ids are interned to integer indices at
-registration and the water-filling solver runs on numpy arrays — the solver
-is on the hot path (it reruns on every flow arrival/departure).
+Implementation notes (this module is the simulator's hottest path — the
+solver reruns on every flow arrival/departure):
+
+* Link ids are interned to integer indices at registration; capacities,
+  per-link byte counters and per-link load counts live in numpy arrays that
+  grow geometrically (``add_link`` is amortized O(1)).
+* Per-flow state (packed ``(F, 2)`` path matrix, remaining bytes, rates)
+  is maintained *incrementally* as flows join and leave instead of being
+  rebuilt for every water-filling pass; ``Flow.remaining``/``Flow.rate``
+  are views into those arrays while the flow is active.
+* Flows are grouped by identical path: the water-filling rounds run over
+  path *groups* (with multiplicities), and solves are memoized by
+  (capacity epoch, group-count signature) — flow populations recur, so a
+  recompute frequently reuses the cached per-group rates of an earlier
+  identical population.  All shortcuts are arranged to be bit-identical to
+  a fresh global recompute (same float operations in the same order),
+  which the golden-metrics battery and a hypothesis property test pin
+  down.
 """
 
 from __future__ import annotations
@@ -29,6 +44,11 @@ from ..simkit import Environment, Event
 __all__ = ["Flow", "FluidNetwork"]
 
 _EPSILON = 1e-12
+# The _on_timer fallback may only force-finish a flow whose remaining bytes
+# are within this relative band of its size — i.e. genuine floating-point
+# residue.  A stale timer observing a flow with real bytes left (e.g. after
+# a mid-flight set_capacity rescale) must reschedule instead.
+_FORCE_FINISH_REL = 1e-9
 
 
 class Flow:
@@ -46,8 +66,9 @@ class Flow:
     _ids = itertools.count()
 
     __slots__ = (
-        "id", "path", "path_index", "size", "remaining", "latency",
-        "rate", "tag", "created_at", "started_at", "completed_at", "done",
+        "id", "path", "path_index", "size", "latency",
+        "tag", "created_at", "started_at", "completed_at", "done",
+        "_net", "_row", "_remaining", "_rate",
     )
 
     def __init__(
@@ -63,14 +84,35 @@ class Flow:
         self.path = path
         self.path_index = path_index
         self.size = float(size)
-        self.remaining = float(size)
         self.latency = latency
-        self.rate = 0.0
         self.tag = tag
         self.created_at = env.now
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
         self.done: Event = env.event()
+        # While active, remaining/rate live in the network's packed arrays;
+        # _net/_row point at the row.  Before activation and after
+        # completion the cached scalars below are authoritative.
+        self._net: Optional["FluidNetwork"] = None
+        self._row = -1
+        self._remaining = float(size)
+        self._rate = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to move (live view while the flow is active)."""
+        net = self._net
+        if net is not None:
+            return float(net._remaining[self._row])
+        return self._remaining
+
+    @property
+    def rate(self) -> float:
+        """Current fair-share rate (live view while the flow is active)."""
+        net = self._net
+        if net is not None:
+            return float(net._rates[self._row])
+        return self._rate
 
     @property
     def duration(self) -> Optional[float]:
@@ -110,11 +152,39 @@ class FluidNetwork:
     def __init__(self, env: Environment):
         self.env = env
         self._index: Dict[Hashable, int] = {}
-        self._capacity_list: List[float] = []
-        self._capacity: np.ndarray = np.zeros(0)
-        self._bytes_list: List[float] = []
-        self._link_bytes: np.ndarray = np.zeros(0)
+        # Per-link arrays; only the first _num_links entries are valid.
+        self._capacity = np.zeros(0)
+        self._link_bytes = np.zeros(0)
+        self._load_counts = np.zeros(0, dtype=np.int64)
+        self._num_links = 0
+        self._capacity_epoch = 0
+        # Per-flow packed state; rows parallel _active, first _n valid.
         self._active: List[Flow] = []
+        self._paths = np.full((0, 2), -1, dtype=np.int64)
+        self._remaining = np.zeros(0)
+        self._rates = np.zeros(0)
+        self._sizes = np.zeros(0)
+        self._gids = np.zeros(0, dtype=np.int64)
+        self._n = 0
+        # Path groups: flows with identical path share a group; the solver
+        # runs over groups with multiplicities.  Groups are never deleted.
+        self._group_of: Dict[Tuple[int, ...], int] = {}
+        self._group_paths = np.full((0, 2), -1, dtype=np.int64)
+        self._group_count = np.zeros(0, dtype=np.int64)
+        self._num_groups = 0
+        # Memoized solves keyed by (capacity epoch, trimmed group-count
+        # signature): flow populations recur, so identical signatures are
+        # common across non-consecutive recomputes.
+        self._solve_cache: Dict[Tuple[int, bytes], np.ndarray] = {}
+        # Resolved link-id tuples -> packed index tuples (routes repeat).
+        self._path_cache: Dict[Tuple[Hashable, ...], Tuple[int, ...]] = {}
+        # link -> crossing-groups CSR adjacency; both the group table and
+        # the link set are append-only, so it is rebuilt only on growth.
+        self._csr_groups: Optional[np.ndarray] = None
+        self._csr_starts: Optional[np.ndarray] = None
+        self._csr_gvalid: Optional[np.ndarray] = None
+        self._csr_rowsum: Optional[np.ndarray] = None
+        self._csr_shape = (-1, -1)
         self._last_update = env.now
         self._generation = 0
         self._recompute_pending = False
@@ -128,15 +198,21 @@ class FluidNetwork:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         if link_id in self._index:
             raise ValueError(f"duplicate link id: {link_id!r}")
-        self._index[link_id] = len(self._capacity_list)
-        self._capacity_list.append(float(bandwidth))
-        self._capacity = np.asarray(self._capacity_list)
-        self._link_bytes = np.zeros(len(self._capacity_list))
-        self._link_bytes[: len(self._bytes_list)] = self._bytes_list
-        self._bytes_list = list(self._link_bytes)
+        index = self._num_links
+        if index == self._capacity.shape[0]:
+            grown = max(16, 2 * index)
+            self._capacity = _grow(self._capacity, grown)
+            self._link_bytes = _grow(self._link_bytes, grown)
+            self._load_counts = _grow(self._load_counts, grown)
+        self._index[link_id] = index
+        self._capacity[index] = float(bandwidth)
+        self._link_bytes[index] = 0.0
+        self._load_counts[index] = 0
+        self._num_links = index + 1
+        self._capacity_epoch += 1
 
     def capacity(self, link_id: Hashable) -> float:
-        return self._capacity_list[self._index[link_id]]
+        return float(self._capacity[self._index[link_id]])
 
     def links(self) -> List[Hashable]:
         """All registered link ids, in registration order."""
@@ -153,8 +229,8 @@ class FluidNetwork:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
         index = self._index[link_id]
         self._advance()
-        self._capacity_list[index] = float(bandwidth)
-        self._capacity = np.asarray(self._capacity_list)
+        self._capacity[index] = float(bandwidth)
+        self._capacity_epoch += 1
         self._schedule_recompute()
 
     @property
@@ -180,10 +256,17 @@ class FluidNetwork:
         Zero-size transfers and empty paths complete after ``latency`` only.
         """
         path = tuple(path)
-        try:
-            path_index = tuple(self._index[link_id] for link_id in path)
-        except KeyError as exc:
-            raise KeyError(f"unknown link id: {exc.args[0]!r}") from None
+        path_index = self._path_cache.get(path)
+        if path_index is None:
+            try:
+                path_index = tuple(self._index[link_id] for link_id in path)
+            except KeyError as exc:
+                raise KeyError(f"unknown link id: {exc.args[0]!r}") from None
+            if len(path_index) > 2:
+                raise ValueError(
+                    f"paths are at most two links, got {len(path_index)}"
+                )
+            self._path_cache[path] = path_index
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         flow = Flow(self.env, path, path_index, size, latency, tag=tag)
@@ -205,8 +288,77 @@ class FluidNetwork:
             self._finish(flow)
             return
         self._advance()
-        self._active.append(flow)
+        self._append_row(flow)
         self._schedule_recompute()
+
+    # -- packed per-flow state ----------------------------------------------
+
+    def _append_row(self, flow: Flow) -> None:
+        row = self._n
+        if row == self._remaining.shape[0]:
+            grown = max(32, 2 * row)
+            self._paths = _grow_rows(self._paths, grown)
+            self._remaining = _grow(self._remaining, grown)
+            self._rates = _grow(self._rates, grown)
+            self._sizes = _grow(self._sizes, grown)
+            self._gids = _grow(self._gids, grown)
+        path_index = flow.path_index
+        self._paths[row] = -1
+        self._paths[row, : len(path_index)] = path_index
+        self._remaining[row] = flow._remaining
+        self._rates[row] = 0.0
+        self._sizes[row] = flow.size
+        gid = self._group_of.get(path_index)
+        if gid is None:
+            gid = self._intern_group(path_index)
+        self._gids[row] = gid
+        self._group_count[gid] += 1
+        for index in path_index:
+            self._load_counts[index] += 1
+        self._n = row + 1
+        self._active.append(flow)
+        flow._net = self
+        flow._row = row
+
+    def _intern_group(self, path_index: Tuple[int, ...]) -> int:
+        gid = self._num_groups
+        if gid == self._group_count.shape[0]:
+            grown = max(16, 2 * gid)
+            self._group_paths = _grow_rows(self._group_paths, grown)
+            self._group_count = _grow(self._group_count, grown)
+        self._group_paths[gid] = -1
+        self._group_paths[gid, : len(path_index)] = path_index
+        self._group_count[gid] = 0
+        self._num_groups = gid + 1
+        self._group_of[path_index] = gid
+        return gid
+
+    def _remove_rows(self, finished_mask: np.ndarray) -> List[Flow]:
+        """Drop the masked rows (order-preserving) and return their flows."""
+        n = self._n
+        keep = ~finished_mask
+        finished: List[Flow] = []
+        kept: List[Flow] = []
+        for flow, done in zip(self._active, finished_mask):
+            (finished if done else kept).append(flow)
+        for flow in finished:
+            self._group_count[self._gids[flow._row]] -= 1
+            for index in flow.path_index:
+                self._load_counts[index] -= 1
+        k = len(kept)
+        self._paths[:k] = self._paths[:n][keep]
+        self._remaining[:k] = self._remaining[:n][keep]
+        self._rates[:k] = self._rates[:n][keep]
+        self._sizes[:k] = self._sizes[:n][keep]
+        self._gids[:k] = self._gids[:n][keep]
+        first = int(np.argmax(finished_mask))
+        for row in range(first, k):
+            kept[row]._row = row
+        self._active = kept
+        self._n = k
+        return finished
+
+    # -- recompute scheduling ------------------------------------------------
 
     def _schedule_recompute(self) -> None:
         """Coalesce rate recomputation: many flows starting or finishing at
@@ -229,39 +381,94 @@ class FluidNetwork:
         """Move bytes for all active flows since the last update."""
         now = self.env.now
         dt = now - self._last_update
-        if dt > 0:
-            link_bytes = self._link_bytes
-            for flow in self._active:
-                moved = flow.rate * dt
-                if moved > 0:
-                    flow.remaining = max(0.0, flow.remaining - moved)
-                    for index in flow.path_index:
-                        link_bytes[index] += moved
+        n = self._n
+        if dt > 0 and n:
+            moved = self._rates[:n] * dt
+            positive = moved > 0
+            if positive.any():
+                remaining = self._remaining[:n]
+                np.maximum(remaining - moved, 0.0, out=remaining)
+                # Accumulate per-link bytes in (flow, link-in-path) order —
+                # the same float addition order as a per-flow loop.
+                paths = self._paths[:n]
+                mask = (paths >= 0) & positive[:, None]
+                np.add.at(
+                    self._link_bytes,
+                    paths[mask],
+                    np.broadcast_to(moved[:, None], (n, 2))[mask],
+                )
         self._last_update = now
 
     def _assign_rates(self) -> None:
-        """Water-filling max-min fair allocation (vectorized).
+        """Water-filling max-min fair allocation (incremental, vectorized).
 
-        Every route in the fabric is at most two links, so flow paths are
-        packed into a padded (F, 2) index array and each filling round runs
-        as a handful of numpy operations.
+        The filling rounds run over path *groups* (flows with an identical
+        link tuple) with multiplicities, which is arithmetically identical
+        to running over individual flows: a round fixes every unfixed flow
+        crossing the bottleneck at the same share, and the residual update
+        subtracts ``share * crossing_flow_count`` per link either way.
+
+        Solves are memoized by (capacity epoch, group-count signature
+        trimmed to the last populated group).  A signature hit reuses the
+        cached per-group rates — the outcome of a fresh recompute would be
+        bit-identical because water-filling is a deterministic function of
+        (group paths, group counts, capacities): group paths are immutable
+        once interned, the epoch pins the capacities, and groups past the
+        trim point are empty so they add no link load and shift no
+        bottleneck (appended links/groups never reorder earlier indices,
+        so argmin tie-breaks are stable too).
         """
-        flows = self._active
-        if not flows:
+        n = self._n
+        if not n:
             return
-        num_flows = len(flows)
-        num_links = len(self._capacity)
-        paths = np.full((num_flows, 2), -1, dtype=np.int64)
-        for row, flow in enumerate(flows):
-            index = flow.path_index
-            paths[row, : len(index)] = index
-        valid = paths >= 0
-        flat_links = paths[valid].ravel()
+        num_groups = self._num_groups
+        gcount = self._group_count[:num_groups]
+        populated = np.nonzero(gcount)[0]
+        width = int(populated[-1]) + 1 if populated.size else 0
+        key = (self._capacity_epoch, gcount[:width].tobytes())
+        grates = self._solve_cache.get(key)
+        if grates is None:
+            grates = self._solve(num_groups, gcount)
+            if len(self._solve_cache) >= 4096:
+                self._solve_cache.clear()
+            self._solve_cache[key] = grates
+        # Every active flow's group lies inside the trimmed signature, so a
+        # cached array from a smaller group table still covers all gids.
+        self._rates[:n] = grates[self._gids[:n]]
 
-        residual = self._capacity.copy()
-        load = np.bincount(flat_links, minlength=num_links).astype(float)
-        rates = np.zeros(num_flows)
-        unfixed = np.ones(num_flows, dtype=bool)
+    def _solve(self, num_groups: int, gcount: np.ndarray) -> np.ndarray:
+        """One full water-filling pass; returns per-group rates."""
+        num_links = self._num_links
+        gpaths = self._group_paths[:num_groups]
+        if self._csr_shape != (num_groups, num_links):
+            # link -> crossing groups adjacency (CSR over sorted flat
+            # links); valid until the next link or group is interned.
+            gvalid = gpaths >= 0
+            flat_links = gpaths[gvalid]
+            flat_groups = np.broadcast_to(
+                np.arange(num_groups, dtype=np.int64)[:, None],
+                (num_groups, 2),
+            )[gvalid]
+            order = np.argsort(flat_links, kind="stable")
+            sorted_links = flat_links[order]
+            self._csr_groups = flat_groups[order]
+            self._csr_starts = np.searchsorted(
+                sorted_links, np.arange(num_links + 1, dtype=np.int64)
+            )
+            self._csr_gvalid = gvalid
+            self._csr_rowsum = gvalid.sum(axis=1)
+            self._csr_shape = (num_groups, num_links)
+        sorted_groups = self._csr_groups
+        starts = self._csr_starts
+        gvalid = self._csr_gvalid
+        rowsum = self._csr_rowsum
+
+        residual = self._capacity[:num_links].copy()
+        load = self._load_counts[:num_links].astype(float)
+        gcount_f = gcount.astype(float)
+        grates = np.zeros(num_groups)
+        gunfixed = np.ones(num_groups, dtype=bool)
+        unfixed_flows = int(gcount.sum())
         shares = np.empty(num_links)
         while True:
             positive = load > 0
@@ -274,65 +481,88 @@ class FluidNetwork:
             # Floating-point residue can push a residual slightly negative;
             # never hand out a negative rate.
             share = max(share, 0.0)
-            selected = unfixed & (paths == bottleneck).any(axis=1)
-            if not selected.any():
+            candidates = sorted_groups[
+                starts[bottleneck]: starts[bottleneck + 1]
+            ]
+            selected = candidates[gunfixed[candidates]]
+            if not selected.size:
                 break
-            rates[selected] = share
-            touched = paths[selected][valid[selected]].ravel()
-            counts = np.bincount(touched, minlength=num_links)
+            grates[selected] = share
+            touched = gpaths[selected][gvalid[selected]]
+            counts = np.bincount(
+                touched,
+                weights=gcount_f[selected].repeat(rowsum[selected]),
+                minlength=num_links,
+            )
             residual -= share * counts
             load -= counts
             residual[bottleneck] = 0.0
             load[bottleneck] = 0.0
-            unfixed &= ~selected
-            if not unfixed.any():
+            gunfixed[selected] = False
+            unfixed_flows -= int(gcount[selected].sum())
+            if unfixed_flows <= 0:
                 break
-        for flow, rate in zip(flows, rates):
-            flow.rate = float(rate)
+        return grates
 
     def _reschedule(self) -> None:
         """Recompute rates and arm a timer for the next flow completion."""
         self._assign_rates()
         self._generation += 1
-        generation = self._generation
-        next_done = None
-        for flow in self._active:
-            if flow.rate <= 0:
-                continue
-            eta = flow.remaining / flow.rate
-            if next_done is None or eta < next_done:
-                next_done = eta
-        if next_done is None:
+        n = self._n
+        if not n:
             return
-        timer = self.env.timeout(max(next_done, 0.0))
-        timer.callbacks.append(lambda _evt: self._on_timer(generation))
+        rates = self._rates[:n]
+        moving = rates > 0
+        if not moving.any():
+            return
+        next_done = float(
+            (self._remaining[:n][moving] / rates[moving]).min()
+        )
+        timer = self.env.timeout(max(next_done, 0.0), value=self._generation)
+        timer.callbacks.append(self._on_timer_event)
+
+    def _on_timer_event(self, event) -> None:
+        self._on_timer(event._value)
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._generation:
             return  # superseded by a newer reschedule
         self._advance()
-        finished = [
-            flow
-            for flow in self._active
-            if flow.remaining <= _EPSILON * flow.size + _EPSILON
-        ]
-        if not finished:
+        n = self._n
+        remaining = self._remaining[:n]
+        sizes = self._sizes[:n]
+        finished_mask = remaining <= _EPSILON * sizes + _EPSILON
+        if not finished_mask.any():
             # The timer was armed for the minimum-ETA flow; if floating
             # point residue kept its remaining microscopically above the
             # threshold, finish it anyway rather than looping on
-            # zero-length timers.
-            moving = [flow for flow in self._active if flow.rate > 0]
-            if moving:
-                finished = [min(moving, key=lambda f: f.remaining / f.rate)]
-        for flow in finished:
-            self._active.remove(flow)
-        for flow in finished:
-            self._finish(flow)
+            # zero-length timers.  Guard: only genuine residue qualifies —
+            # a stale timer looking at a flow with real bytes left (e.g.
+            # its rate was rescaled by set_capacity mid-flight) must
+            # recompute and re-arm instead of force-finishing.
+            rates = self._rates[:n]
+            moving = np.flatnonzero(rates > 0)
+            if moving.size:
+                etas = remaining[moving] / rates[moving]
+                candidate = int(moving[int(etas.argmin())])
+                within_residue = (
+                    remaining[candidate]
+                    <= _FORCE_FINISH_REL * sizes[candidate] + _EPSILON
+                )
+                if within_residue:
+                    finished_mask[candidate] = True
+                else:
+                    self._schedule_recompute()
+                    return
+        if finished_mask.any():
+            for flow in self._remove_rows(finished_mask):
+                self._finish(flow)
         self._schedule_recompute()
 
     def _finish(self, flow: Flow) -> None:
-        flow.remaining = 0.0
-        flow.rate = 0.0
+        flow._net = None
+        flow._remaining = 0.0
+        flow._rate = 0.0
         flow.completed_at = self.env.now
         self.total_bytes_completed += flow.size
         flow.done.succeed(flow)
@@ -345,5 +575,17 @@ class FluidNetwork:
             return 0.0
         index = self._index[link_id]
         return float(
-            self._link_bytes[index] / (self._capacity_list[index] * elapsed)
+            self._link_bytes[index] / (self._capacity[index] * elapsed)
         )
+
+
+def _grow(array: np.ndarray, size: int) -> np.ndarray:
+    grown = np.zeros(size, dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown
+
+
+def _grow_rows(array: np.ndarray, size: int) -> np.ndarray:
+    grown = np.full((size, array.shape[1]), -1, dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown

@@ -13,6 +13,7 @@ breaks ties in the event heap).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -74,6 +75,8 @@ class Event:
     :attr:`callbacks` run when the event is processed by the environment.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -106,7 +109,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
         self.env._schedule(self)
@@ -114,7 +117,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -149,17 +152,25 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` time units after its creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Event.__init__ inlined: timeouts are the hottest event kind.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._exception = None
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay=delay)
 
 
 class Initialize(Event):
     """Internal event that starts a process at the current time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -171,6 +182,8 @@ class Initialize(Event):
 class Process(Event):
     """Wraps a generator; the process itself is an event that triggers when
     the generator returns (with its return value) or raises."""
+
+    __slots__ = ("_generator", "_target", "name", "daemon")
 
     def __init__(
         self,
@@ -242,12 +255,11 @@ class Process(Event):
                 raise SimulationError(
                     f"process yielded a non-event: {target!r}"
                 )
-            if target.processed:
-                # Already settled: resume immediately with its outcome.
+            if target.callbacks is None:
+                # Already processed: resume immediately with its outcome.
                 event = target
                 continue
             self._target = target
-            assert target.callbacks is not None
             target.callbacks.append(self._resume)
             break
         self.env._active_process = None
@@ -259,6 +271,8 @@ class Condition(Event):
     The value of a condition is a dict mapping each triggered constituent
     event to its value, in trigger order.
     """
+
+    __slots__ = ("_events", "_evaluate", "_count")
 
     def __init__(
         self,
@@ -304,18 +318,30 @@ class Condition(Event):
             self.succeed(self._collect_values())
 
 
+def _all_done(total: int, done: int) -> bool:
+    return done == total
+
+
+def _any_done(total: int, done: int) -> bool:
+    return done >= 1
+
+
 class AllOf(Condition):
     """Triggered when all constituent events have triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, lambda total, done: done == total, events)
+        super().__init__(env, _all_done, events)
 
 
 class AnyOf(Condition):
     """Triggered when any constituent event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, lambda total, done: done >= 1, events)
+        super().__init__(env, _any_done, events)
 
 
 class Environment:
@@ -324,6 +350,12 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []
+        # Zero-delay, normal-priority schedules (the vast majority: every
+        # succeed()/fail() and delay-0 timeout) bypass the heap.  Invariant:
+        # every entry was enqueued at the current ``_now``, so the deque is
+        # already in (time, priority, eid) order and ``_now`` cannot advance
+        # while it is non-empty.
+        self._immediate: deque = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._alive: set = set()
@@ -370,22 +402,46 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
-        )
+        if delay == 0.0 and priority == 1:
+            self._immediate.append((self._eid, event))
+        else:
+            heapq.heappush(
+                self._queue, (self._now + delay, priority, self._eid, event)
+            )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
+        if self._immediate:
+            return self._now
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
 
     def step(self) -> None:
-        """Process the next scheduled event."""
-        if not self._queue:
-            raise SimulationError("no more events to process")
-        time, _priority, _eid, event = heapq.heappop(self._queue)
-        self._now = time
+        """Process the next scheduled event.
+
+        The merged pop order over the heap and the immediate deque is
+        exactly the (time, priority, eid) order a single heap would give:
+        heap times are always >= ``_now``, so a heap entry wins only when
+        it is at the current time with a higher priority or an earlier eid
+        than the oldest immediate event.
+        """
+        immediate = self._immediate
+        queue = self._queue
+        if immediate:
+            if queue:
+                head = queue[0]
+                if (head[0], head[1], head[2]) < (self._now, 1, immediate[0][0]):
+                    event = heapq.heappop(queue)[3]
+                else:
+                    event = immediate.popleft()[1]
+            else:
+                event = immediate.popleft()[1]
+        else:
+            if not queue:
+                raise SimulationError("no more events to process")
+            time, _priority, _eid, event = heapq.heappop(queue)
+            self._now = time
         self.events_processed += 1
         event._process_callbacks()
 
@@ -405,13 +461,16 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
+        queue = self._queue
+        immediate = self._immediate
+        step = self.step
+        while queue or immediate:
+            if stop_event is not None and stop_event.callbacks is None:
                 return stop_event.value
             if stop_time is not None and self.peek() > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            step()
 
         if stop_event is not None:
             if stop_event.processed:

@@ -31,6 +31,8 @@ __all__ = [
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -51,6 +53,8 @@ class Request(Event):
 
 class Release(Event):
     """Event form of a release; triggers immediately."""
+
+    __slots__ = ()
 
     def __init__(self, resource: "Resource", request: Request):
         super().__init__(resource.env)
@@ -104,6 +108,8 @@ class Resource:
 class PriorityRequest(Request):
     """Request with a priority; smaller value means earlier service."""
 
+    __slots__ = ("priority", "time", "seq")
+
     _seq = 0
 
     def __init__(self, resource: "PriorityResource", priority: float = 0.0):
@@ -129,6 +135,8 @@ class PriorityResource(Resource):
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -137,6 +145,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         store._get_queue.append(self)
@@ -177,6 +187,8 @@ class Store:
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise SimulationError("put amount must be positive")
@@ -187,6 +199,8 @@ class ContainerPut(Event):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise SimulationError("get amount must be positive")
