@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-check bench-write figs profile \
+.PHONY: install test lint bench bench-check bench-write bench-runtime \
+	bench-runtime-check bench-runtime-write figs profile \
 	baseline baseline-write coverage chaos reports examples clean
 
 install:
@@ -24,6 +25,19 @@ bench-check:
 
 bench-write:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --write
+
+# Wall-clock benchmark of the numerical runtime (trainer steps through the
+# sorted-dispatch executors); snapshot + history live in
+# benchmarks/BENCH_runtime.json.  float64 only — float32 captures
+# (bench --suite runtime --dtype float32) are experiments, never gates.
+bench-runtime:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite runtime
+
+bench-runtime-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite runtime --quick --check
+
+bench-runtime-write:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite runtime --write
 
 # cProfile the hottest Fig. 14 config (top 25 by cumulative time).
 profile:

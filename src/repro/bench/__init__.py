@@ -24,17 +24,35 @@ from .speed import (
     time_config,
     write_snapshot,
 )
+from .runtime_speed import (
+    DEFAULT_RUNTIME_SNAPSHOT_PATH,
+    RUNTIME_FULL_CONFIGS,
+    RUNTIME_QUICK_CONFIGS,
+    RUNTIME_SCHEMA,
+    RuntimeBenchConfig,
+    format_runtime_suite,
+    run_runtime_suite,
+    time_runtime_config,
+)
 
 __all__ = [
     "BenchConfig",
+    "DEFAULT_RUNTIME_SNAPSHOT_PATH",
     "DEFAULT_SNAPSHOT_PATH",
     "FULL_CONFIGS",
     "QUICK_CONFIGS",
+    "RUNTIME_FULL_CONFIGS",
+    "RUNTIME_QUICK_CONFIGS",
+    "RUNTIME_SCHEMA",
+    "RuntimeBenchConfig",
     "SCHEMA",
     "calibrate",
     "check_snapshot",
+    "format_runtime_suite",
     "format_suite",
+    "run_runtime_suite",
     "run_suite",
     "time_config",
+    "time_runtime_config",
     "write_snapshot",
 ]

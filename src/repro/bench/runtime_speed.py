@@ -1,0 +1,229 @@
+"""Wall-clock timing of the numerical runtime (trainer steps).
+
+``repro bench --suite runtime`` is the host-time counterpart of the
+simulator bench in :mod:`repro.bench.speed`, pointed at the *numerical*
+half of the repo: the tensorlib autograd engine driving the
+expert-centric / data-centric executors through full
+:class:`~repro.runtime.trainer.DistributedTrainer` steps.  Each config
+builds a distributed model once, runs warm-up steps (which also fill the
+data-centric replica pool), then times ``runs`` steady-state steps and
+reports the median host-seconds per step plus routed token-slots per
+second.
+
+The capture shares the calibration-rescaled regression gate of the
+simulator bench (:func:`repro.bench.speed.check_snapshot` is schema
+compatible); the committed snapshot lives in
+``benchmarks/BENCH_runtime.json`` and carries the perf-trajectory
+``history`` list.
+
+Timing is float64 by default — the dtype the equivalence battery pins —
+and ``dtype="float32"`` is an opt-in for experiments; float32 captures
+must not be compared against a float64 snapshot.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .speed import _cpu_count, calibrate
+
+RUNTIME_SCHEMA = "janus-repro/bench-runtime/v1"
+
+# src/repro/bench/runtime_speed.py -> repo root / benchmarks
+DEFAULT_RUNTIME_SNAPSHOT_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_runtime.json"
+)
+
+_DTYPES = ("float64", "float32")
+
+
+class RuntimeBenchConfig(NamedTuple):
+    """One timed trainer-step configuration."""
+
+    model: str
+    mode: str  # "expert-centric" | "data-centric"
+    machines: int = 2
+    workers: int = 2
+
+    @property
+    def key(self) -> str:
+        return f"{self.model}/{self.mode}"
+
+
+_RUNTIME_MODES = ("expert-centric", "data-centric")
+
+RUNTIME_FULL_CONFIGS: Tuple[RuntimeBenchConfig, ...] = tuple(
+    RuntimeBenchConfig(model, mode)
+    for model in ("trainer-small", "trainer-moe-gpt")
+    for mode in _RUNTIME_MODES
+)
+
+# CI smoke subset: one steady-state trainer config (data-centric exercises
+# the replica pool as well as the sorted dispatch path).
+RUNTIME_QUICK_CONFIGS: Tuple[RuntimeBenchConfig, ...] = (
+    RuntimeBenchConfig("trainer-moe-gpt", "data-centric"),
+)
+
+
+def _runtime_model_config(name: str):
+    """Numerics-scale model shapes.
+
+    ``trainer-moe-gpt`` keeps MoE-GPT's block layout (causal decoder, one
+    late MoE block, top_k=4) at a width the float64 numpy engine can step
+    in tens of milliseconds; ``trainer-small`` is the smoke shape.
+    """
+    from ..config import ModelConfig
+
+    if name == "trainer-small":
+        return ModelConfig(
+            name="trainer-small",
+            batch_size=4,
+            seq_len=8,
+            top_k=2,
+            hidden_dim=32,
+            num_blocks=2,
+            experts_per_block={1: 8},
+            num_heads=4,
+            vocab_size=128,
+            causal=True,
+        )
+    if name == "trainer-moe-gpt":
+        return ModelConfig(
+            name="trainer-moe-gpt",
+            batch_size=4,
+            seq_len=32,
+            top_k=4,
+            hidden_dim=64,
+            num_blocks=4,
+            experts_per_block={3: 16},
+            num_heads=8,
+            vocab_size=256,
+            causal=True,
+        )
+    raise ValueError(f"unknown runtime bench model: {name!r}")
+
+
+def _build_trainer(spec: RuntimeBenchConfig):
+    from ..runtime import DistributedMoETransformer, DistributedTrainer, RankLayout
+    from ..tensorlib import Adam
+
+    config = _runtime_model_config(spec.model)
+    layout = RankLayout(spec.machines, spec.workers)
+    moe_blocks = {index: spec.mode for index in config.moe_block_indices}
+    model = DistributedMoETransformer(
+        config, layout, paradigm_for_block=moe_blocks,
+        rng=np.random.default_rng(0),
+    )
+    trainer = DistributedTrainer(model, Adam(model.parameters(), lr=1e-3))
+    rng = np.random.default_rng(1)
+    shape = (config.batch_size, config.seq_len)
+    batches = [
+        rng.integers(0, config.vocab_size, size=shape)
+        for _ in range(layout.world_size)
+    ]
+    targets = [
+        rng.integers(0, config.vocab_size, size=shape)
+        for _ in range(layout.world_size)
+    ]
+    return config, layout, trainer, batches, targets
+
+
+def time_runtime_config(
+    spec: RuntimeBenchConfig,
+    runs: int = 3,
+    warmup: int = 1,
+    dtype: str = "float64",
+) -> Dict:
+    """Time ``runs`` steady-state trainer steps; report the median.
+
+    Model/optimizer construction and ``warmup`` steps happen outside the
+    timed region, so the number is host-seconds per
+    :meth:`DistributedTrainer.step` in steady state (replica pools filled,
+    optimizer state allocated).
+    """
+    if dtype not in _DTYPES:
+        raise ValueError(f"dtype must be one of {_DTYPES}, got {dtype!r}")
+    from ..tensorlib import default_dtype
+
+    with default_dtype(getattr(np, dtype)):
+        config, layout, trainer, batches, targets = _build_trainer(spec)
+        for _ in range(max(0, warmup)):
+            trainer.step(batches, targets)
+        samples: List[float] = []
+        for _ in range(runs):
+            start = time.perf_counter()
+            trainer.step(batches, targets)
+            samples.append(time.perf_counter() - start)
+    median = statistics.median(samples)
+    # Routed token-slots per step across all workers: B*S*k per worker.
+    slots = config.tokens_per_worker * layout.world_size
+    return {
+        "median_s": median,
+        "best_s": min(samples),
+        "samples": [round(sample, 6) for sample in samples],
+        "token_slots": slots,
+        "token_slots_per_s": slots / median if median > 0 else 0.0,
+        "loss": trainer.last_loss,
+    }
+
+
+def run_runtime_suite(
+    configs: Sequence[RuntimeBenchConfig] = RUNTIME_FULL_CONFIGS,
+    runs: int = 3,
+    warmup: int = 1,
+    dtype: str = "float64",
+    calibration: Optional[float] = None,
+) -> Dict:
+    """Time every config and assemble the bench-runtime capture.
+
+    Trainer steps all run inline: unlike the simulator suite the runtime
+    configs are few and short, so process fan-out would mostly measure
+    interpreter start-up.
+    """
+    suite_start = time.perf_counter()
+    runs_section = {
+        spec.key: time_runtime_config(spec, runs=runs, warmup=warmup, dtype=dtype)
+        for spec in configs
+    }
+    wall_s = time.perf_counter() - suite_start
+    return {
+        "schema": RUNTIME_SCHEMA,
+        "config": {"runs": runs, "warmup": warmup, "dtype": dtype},
+        "calibration_s": calibrate() if calibration is None else calibration,
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpus": _cpu_count(),
+        },
+        "runs": runs_section,
+        "wall_s": wall_s,
+    }
+
+
+def format_runtime_suite(current: Dict) -> str:
+    """Human-readable table of a runtime capture."""
+    lines = []
+    header = (
+        f"{'config':<34} {'median ms/step':>15} {'best':>9} "
+        f"{'slots':>7} {'slots/s':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key, entry in current.get("runs", {}).items():
+        lines.append(
+            f"{key:<34} {entry['median_s'] * 1e3:>15.1f} "
+            f"{entry['best_s'] * 1e3:>9.1f} {entry['token_slots']:>7d} "
+            f"{entry['token_slots_per_s']:>10.0f}"
+        )
+    lines.append(
+        f"dtype: {current.get('config', {}).get('dtype', 'float64')}  "
+        f"calibration: {current.get('calibration_s', 0.0) * 1e3:.1f} ms "
+        f"(host {current.get('host', {}).get('cpus', '?')} cpu(s))"
+    )
+    return "\n".join(lines)

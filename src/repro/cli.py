@@ -13,9 +13,11 @@ Commands:
   machine-readable run report (and optionally a Perfetto-loadable trace).
 * ``chaos``    — sweep pull-loss rates across paradigms and report
   iteration time, retries and stale fallbacks (graceful degradation).
-* ``bench``    — wall-clock benchmark of the simulator itself: median
-  s/run and kernel events/sec per Fig.-14 config, parallel multi-config
-  fan-out, and a regression check against ``benchmarks/BENCH_speed.json``.
+* ``bench``    — wall-clock benchmarks with regression gates:
+  ``--suite sim`` times the simulator per Fig.-14 config against
+  ``benchmarks/BENCH_speed.json``; ``--suite runtime`` times numerical
+  trainer steps (sorted dispatch, both paradigms) against
+  ``benchmarks/BENCH_runtime.json``.
 * ``table1``   — regenerate the paper's Table 1 traffic comparison.
 * ``goodput``  — the §3.1 All-to-All goodput stress test.
 
@@ -312,61 +314,103 @@ def cmd_chaos(args) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
-    """Wall-clock benchmark of the simulator (``BENCH_speed.json``)."""
-    import json
-
+def _bench_capture(args, suite: str):
+    """Run one bench suite ("sim" or "runtime"); return (capture, path)."""
     from .bench import (
+        DEFAULT_RUNTIME_SNAPSHOT_PATH,
         DEFAULT_SNAPSHOT_PATH,
         FULL_CONFIGS,
         QUICK_CONFIGS,
-        check_snapshot,
+        RUNTIME_FULL_CONFIGS,
+        RUNTIME_QUICK_CONFIGS,
+        format_runtime_suite,
         format_suite,
+        run_runtime_suite,
         run_suite,
-        write_snapshot,
     )
 
-    configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
-    runs = args.runs if args.runs is not None else (1 if args.quick else 3)
-    jobs = args.jobs
-    if jobs is None:
-        import os
+    if suite == "sim":
+        configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+        runs = args.runs if args.runs is not None else (1 if args.quick else 3)
+        jobs = args.jobs
+        if jobs is None:
+            import os
 
-        try:
-            jobs = len(os.sched_getaffinity(0))
-        except AttributeError:
-            jobs = os.cpu_count() or 1
-    current = run_suite(configs, runs=runs, jobs=jobs)
-    print(format_suite(current))
-    path = Path(args.path) if args.path is not None else DEFAULT_SNAPSHOT_PATH
-    if args.out is not None:
-        Path(args.out).write_text(
-            json.dumps(current, indent=1, sort_keys=True) + "\n"
-        )
-        print(f"capture written to {args.out}")
-    if args.write:
-        write_snapshot(path, current)
-        print(f"snapshot written to {path} ({len(current['runs'])} configs)")
-        return 0
-    if args.check:
-        if not path.exists():
-            print(f"no snapshot at {path}; run --write first", file=sys.stderr)
-            return 2
-        snapshot = json.loads(path.read_text())
-        problems = check_snapshot(current, snapshot, tolerance=args.tolerance)
-        if problems:
-            print(
-                f"bench regression ({len(problems)} config(s)):",
-                file=sys.stderr,
+            try:
+                jobs = len(os.sched_getaffinity(0))
+            except AttributeError:
+                jobs = os.cpu_count() or 1
+        current = run_suite(configs, runs=runs, jobs=jobs)
+        print(format_suite(current))
+        return current, DEFAULT_SNAPSHOT_PATH
+    configs = RUNTIME_QUICK_CONFIGS if args.quick else RUNTIME_FULL_CONFIGS
+    runs = args.runs if args.runs is not None else (2 if args.quick else 3)
+    current = run_runtime_suite(configs, runs=runs, dtype=args.dtype)
+    print(format_runtime_suite(current))
+    return current, DEFAULT_RUNTIME_SNAPSHOT_PATH
+
+
+def cmd_bench(args) -> int:
+    """Wall-clock benchmarks: the simulator (``BENCH_speed.json``) and the
+    numerical runtime (``BENCH_runtime.json``)."""
+    import json
+
+    from .bench import check_snapshot, write_snapshot
+
+    suites = ("sim", "runtime") if args.suite == "all" else (args.suite,)
+    if len(suites) > 1 and (args.path is not None or args.out is not None):
+        print("--path/--out are ambiguous with --suite all", file=sys.stderr)
+        return 2
+    worst = 0
+    for suite in suites:
+        current, default_path = _bench_capture(args, suite)
+        path = Path(args.path) if args.path is not None else default_path
+        if args.out is not None:
+            Path(args.out).write_text(
+                json.dumps(current, indent=1, sort_keys=True) + "\n"
             )
-            for line in problems:
-                print(f"  {line}", file=sys.stderr)
-            return 1
-        print(
-            f"bench OK: {len(current['runs'])} config(s) within "
-            f"{args.tolerance:.0%} of {path.name}"
-        )
-    return 0
+            print(f"capture written to {args.out}")
+        if args.write:
+            write_snapshot(path, current)
+            print(
+                f"snapshot written to {path} ({len(current['runs'])} configs)"
+            )
+            continue
+        if args.check:
+            if not path.exists():
+                print(
+                    f"no snapshot at {path}; run --write first",
+                    file=sys.stderr,
+                )
+                return 2
+            snapshot = json.loads(path.read_text())
+            problems = check_snapshot(
+                current, snapshot, tolerance=args.tolerance
+            )
+            snap_dtype = snapshot.get("config", {}).get("dtype")
+            cur_dtype = current.get("config", {}).get("dtype")
+            if snap_dtype != cur_dtype:
+                # float32 runs ~2x faster; comparing across dtypes would
+                # either mask or fake a regression.
+                problems.insert(
+                    0,
+                    f"dtype mismatch: capture is {cur_dtype}, snapshot is "
+                    f"{snap_dtype} (timings are not comparable)",
+                )
+            if problems:
+                print(
+                    f"bench regression ({len(problems)} config(s)):",
+                    file=sys.stderr,
+                )
+                for line in problems:
+                    print(f"  {line}", file=sys.stderr)
+                worst = max(worst, 1)
+                continue
+            print(
+                f"bench OK: {len(current['runs'])} config(s) within "
+                f"{args.tolerance:.0%} of {path.name}"
+            )
+    return worst
 
 
 def cmd_table1(args) -> int:
@@ -485,15 +529,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(func=cmd_chaos)
 
     bench = sub.add_parser(
-        "bench", help="wall-clock benchmark of the simulator itself"
+        "bench", help="wall-clock benchmark of the simulator / runtime"
     )
+    bench.add_argument("--suite", choices=("sim", "runtime", "all"),
+                       default="sim",
+                       help="sim = simulator configs (BENCH_speed.json); "
+                            "runtime = numerical trainer steps "
+                            "(BENCH_runtime.json); all = both")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset (MoE-GPT, 3 paradigms)")
     bench.add_argument("--runs", type=_positive_int, default=None,
                        help="timed runs per config (default 3; 1 in --quick)")
     bench.add_argument("--jobs", type=_positive_int, default=None,
                        help="worker processes for the multi-config fan-out "
-                            "(default: available cpus)")
+                            "(default: available cpus; sim suite only)")
+    bench.add_argument("--dtype", choices=("float64", "float32"),
+                       default="float64",
+                       help="runtime-suite tensor dtype; float32 is an "
+                            "experiment mode and is never comparable to "
+                            "a float64 snapshot")
     bench.add_argument("--write", action="store_true",
                        help="write the committed snapshot (preserves history)")
     bench.add_argument("--check", action="store_true",
@@ -505,7 +559,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also dump the fresh capture JSON here")
     bench.add_argument(
         "--path", type=Path, default=None,
-        help="snapshot location (default benchmarks/BENCH_speed.json)",
+        help="snapshot location (default benchmarks/BENCH_speed.json or "
+             "BENCH_runtime.json per --suite)",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -1,6 +1,7 @@
 """MoE transformer model zoo (functional layer)."""
 
 from .attention import MultiHeadAttention
+from .dispatch import DispatchPlan, combine_sorted, gather_slots
 from .ffn import Expert, FeedForward
 from .gate import GateDecision, TopKGate
 from .moe_block import MoEBlock, MoELayer, dispatch_compute_combine
@@ -8,6 +9,7 @@ from .transformer import MoETransformer, TransformerBlock
 from . import flops
 
 __all__ = [
+    "DispatchPlan",
     "Expert",
     "FeedForward",
     "GateDecision",
@@ -17,6 +19,8 @@ __all__ = [
     "MultiHeadAttention",
     "TopKGate",
     "TransformerBlock",
+    "combine_sorted",
     "dispatch_compute_combine",
     "flops",
+    "gather_slots",
 ]

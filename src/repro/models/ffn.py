@@ -50,6 +50,18 @@ class Expert(FeedForward):
     def import_weights(self, weights: Dict[str, np.ndarray]) -> None:
         self.load_state_dict(weights)
 
+    def refresh_from(self, source: "Expert") -> None:
+        """Copy ``source``'s weights into this expert's existing buffers.
+
+        The zero-allocation sibling of ``import_weights(export_weights())``
+        used by the data-centric replica pool: parameter arrays are reused
+        across iterations and stale replica gradients are dropped.
+        """
+        own = dict(self.named_parameters())
+        for name, param in source.named_parameters():
+            np.copyto(own[name].data, param.data)
+            own[name].grad = None
+
     def collect_gradients(self) -> Dict[str, np.ndarray]:
         grads = {}
         for name, param in self.named_parameters():
@@ -69,7 +81,7 @@ class Expert(FeedForward):
             if param.grad is None:
                 param.grad = grads[name].copy()
             else:
-                param.grad = param.grad + grads[name]
+                param.grad += grads[name]
 
     @property
     def weight_bytes(self) -> int:

@@ -8,12 +8,14 @@ while combine weights stay in the autograd graph so the gate learns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from ..tensorlib import Linear, Module, Tensor
+from .dispatch import DispatchPlan
 
 __all__ = ["GateDecision", "TopKGate"]
 
@@ -35,6 +37,9 @@ class GateDecision:
     combine_weights: Tensor
     probs: Tensor
     aux_loss: Tensor
+    _plan: Optional[DispatchPlan] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def num_tokens(self) -> int:
@@ -43,6 +48,10 @@ class GateDecision:
     @property
     def top_k(self) -> int:
         return self.expert_indices.shape[1]
+
+    @property
+    def num_experts(self) -> int:
+        return self.probs.shape[1]
 
     def tokens_per_expert(self, num_experts: int) -> np.ndarray:
         """Histogram of token-slot assignments over experts (dropped
@@ -55,9 +64,25 @@ class GateDecision:
         """Token-slots dropped by the capacity limit."""
         return int((self.expert_indices < 0).sum())
 
+    def dispatch_plan(self) -> DispatchPlan:
+        """Sorted segment layout of this decision (computed once, cached)."""
+        if self._plan is None:
+            self._plan = DispatchPlan(self.expert_indices, self.num_experts)
+        return self._plan
+
     def slots_for_expert(self, expert: int):
-        """(token_ids, slot_ids) routed to ``expert``."""
-        return np.nonzero(self.expert_indices == expert)
+        """(token_ids, slot_ids) routed to ``expert``.
+
+        .. deprecated:: use ``dispatch_plan().segment(expert)``; the
+           per-expert scan is now served from the sorted layout.
+        """
+        warnings.warn(
+            "GateDecision.slots_for_expert is deprecated; use "
+            "dispatch_plan().segment(expert)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.dispatch_plan().segment(expert)
 
 
 class TopKGate(Module):
@@ -141,7 +166,7 @@ class TopKGate(Module):
         # Dropped slots are marked -1; index safely and mask their weight.
         safe_indices = np.where(expert_indices >= 0, expert_indices, 0)
         selected = probs[rows, safe_indices]  # (N, k) in the graph
-        keep_mask = (expert_indices >= 0).astype(np.float64)
+        keep_mask = (expert_indices >= 0).astype(probs.data.dtype)
         masked = selected * Tensor(keep_mask)
         denominator = masked.sum(axis=-1, keepdims=True) + 1e-30
         combine = masked / denominator

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..tensorlib import LayerNorm, Module, Tensor
 from .attention import MultiHeadAttention
+from .dispatch import combine_sorted, gather_slots
 from .ffn import Expert
 from .gate import GateDecision, TopKGate
 
@@ -27,25 +28,22 @@ def dispatch_compute_combine(
 ) -> Tensor:
     """Apply gated experts to a flat (N, H) token batch.
 
-    For every expert, gathers its assigned tokens, runs the expert FFN and
-    scatter-adds the gate-weighted result — the canonical MoE computation
-    both paradigms implement.
+    Gathers all routed tokens once in sorted-by-expert order, runs each
+    expert FFN on its contiguous segment, and un-dispatches with a single
+    gate-weighted scatter-add — the canonical MoE computation both
+    paradigms implement.
     """
     num_tokens = tokens.shape[0]
-    output: Optional[Tensor] = None
-    for expert_id, expert in enumerate(experts):
-        token_ids, slot_ids = decision.slots_for_expert(expert_id)
-        if token_ids.size == 0:
-            continue
-        gathered = tokens.gather_rows(token_ids)
-        expert_out = expert(gathered)
-        weights = decision.combine_weights[token_ids, slot_ids]
-        weighted = expert_out * weights.reshape(-1, 1)
-        contribution = Tensor.scatter_rows(num_tokens, token_ids, weighted)
-        output = contribution if output is None else output + contribution
-    if output is None:  # degenerate: no tokens at all
-        output = tokens * 0.0
-    return output
+    plan = decision.dispatch_plan()
+    if plan.total_routed == 0:  # degenerate: every slot dropped
+        return tokens * 0.0
+    gathered = gather_slots(tokens, plan)
+    pieces = []
+    for expert_id in plan.experts_present():
+        start, stop = plan.segment_bounds(expert_id)
+        pieces.append(experts[expert_id](gathered.row_slice(start, stop)))
+    stacked = Tensor.concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+    return combine_sorted(num_tokens, plan, decision, stacked)
 
 
 class MoELayer(Module):

@@ -12,13 +12,20 @@ on it, and at the end of the backward pass ships the replica's accumulated
 gradients home — exactly the physical data movement of Janus, so tests can
 assert byte-for-byte traffic and value-for-value equivalence against the
 expert-centric executor.
+
+Replica modules are pooled across iterations: the first pull of a
+(machine, expert) pair constructs the module, later iterations only
+refresh its weight buffers in place (:meth:`~repro.models.Expert.
+refresh_from`).  :meth:`DataCentricMoE.invalidate_replicas` drops the pool
+when the canonical state changes out-of-band (checkpoint import, fault
+recovery swapping expert shards).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..models import Expert
+from ..models import Expert, combine_sorted, gather_slots
 from ..tensorlib import Tensor
 from .executor import MoEExecutor
 
@@ -28,33 +35,47 @@ __all__ = ["DataCentricMoE"]
 class DataCentricMoE(MoEExecutor):
     """Pull-based expert movement with per-machine caching."""
 
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # (machine, expert) -> pooled replica module, reused across
+        # iterations so run() only refreshes weight buffers in place.
+        self._replica_pool: Dict[Tuple[int, int], Expert] = {}
+
     def run(self, worker_tokens: List[Tensor]) -> List[Tensor]:
         decisions = self._route_all(worker_tokens)
         self._backward_done = False
         # (machine, expert) -> module used by that machine this iteration.
         self._machine_experts: Dict[Tuple[int, int], Expert] = {}
-        # (machine, expert) replicas that must ship gradients home; maps to
-        # the rank that performed the cross-machine (or NVLink) pull.
+        # (machine, expert) replicas that must ship gradients home.
         self._replicas: Dict[Tuple[int, int], Expert] = {}
-        # Per-machine record of which worker pulled each expert first (the
-        # cache-fill), for traffic attribution.
-        self._fetched_by: Dict[Tuple[int, int], int] = {}
+        # Worker that performed the machine's cache-fill pull: the machine's
+        # representative for the pre-reduced grad_push home.
+        self._fill_rank: Dict[Tuple[int, int], int] = {}
+        # Last worker the machine cache served (cache hits are charged as a
+        # peer-to-peer copy from the previous reader, once per worker).
+        self._served_rank: Dict[Tuple[int, int], int] = {}
 
         outputs: List[Tensor] = []
         for rank, (tokens, decision) in enumerate(zip(worker_tokens, decisions)):
-            num_tokens = tokens.shape[0]
-            output = None
-            for expert_id in range(self.num_experts):
-                token_ids, slot_ids = decision.slots_for_expert(expert_id)
-                if token_ids.size == 0:
-                    continue
+            plan = decision.dispatch_plan()
+            if plan.total_routed == 0:
+                outputs.append(tokens * 0.0)
+                continue
+            # One gather puts this worker's routed tokens in sorted-by-
+            # expert order; each pulled expert computes on a contiguous
+            # zero-copy segment and one weighted scatter-add combines.
+            gathered = gather_slots(tokens, plan)
+            pieces = []
+            for expert_id in plan.experts_present():
                 expert = self._fetch(expert_id, rank)
-                expert_out = expert(tokens.gather_rows(token_ids))
-                contribution = self._weighted_scatter(
-                    num_tokens, token_ids, slot_ids, expert_out, decision
-                )
-                output = contribution if output is None else output + contribution
-            outputs.append(output if output is not None else tokens * 0.0)
+                start, stop = plan.segment_bounds(expert_id)
+                pieces.append(expert(gathered.row_slice(start, stop)))
+            stacked = (
+                Tensor.concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+            )
+            outputs.append(
+                combine_sorted(tokens.shape[0], plan, decision, stacked)
+            )
         return outputs
 
     def _fetch(self, expert_id: int, rank: int) -> Expert:
@@ -67,46 +88,67 @@ class DataCentricMoE(MoEExecutor):
 
         machine = self.layout.machine_of(rank)
         key = (machine, expert_id)
-        cached = key in self._machine_experts
-        if not cached:
-            if self.layout.machine_of(owner) == machine:
-                # Intra-machine: pull weights over NVLink from the owner GPU.
-                self.comm_log.record(
-                    "expert_pull", owner, rank, self.expert_bytes
-                )
-            else:
-                # Cross-machine: the Inter-Node Scheduler pulls the expert
-                # once into the machine's Cache Manager (§5.1.2).
-                self.comm_log.record(
-                    "expert_pull", owner, rank, self.expert_bytes
-                )
-            replica = Expert(self.hidden_dim, mult=self.ffn_mult)
-            replica.import_weights(self.experts[expert_id].export_weights())
+        replica = self._machine_experts.get(key)
+        if replica is None:
+            # First pull on this machine: over NVLink when the owner GPU is
+            # a same-machine peer, otherwise the Inter-Node Scheduler pulls
+            # the expert once into the machine's Cache Manager (§5.1.2).
+            # One record covers both — the CommLog's aggregations separate
+            # the NVLink and RDMA classes by the (src, dst) machine pair.
+            self.comm_log.record("expert_pull", owner, rank, self.expert_bytes)
+            replica = self._acquire_replica(key, expert_id)
             self._machine_experts[key] = replica
             self._replicas[key] = replica
-            self._fetched_by[key] = rank
-        elif self._fetched_by[key] != rank:
+            self._fill_rank[key] = rank
+            self._served_rank[key] = rank
+        elif self._served_rank[key] != rank:
             # Cache hit by another worker of the same machine: the expert is
             # served from the machine cache (CPU memory via PCIe or a peer
-            # GPU via NVLink) — intra-machine traffic only.
-            peer = self._fetched_by[key]
+            # GPU via NVLink) — intra-machine traffic only, charged once per
+            # worker.  This must not disturb the fill rank, which stays the
+            # machine's grad_push representative.
+            peer = self._served_rank[key]
             self.comm_log.record("expert_pull", peer, rank, self.expert_bytes)
-            self._fetched_by[key] = rank  # only charge the copy once per worker
-        return self._machine_experts[key]
+            self._served_rank[key] = rank
+        return replica
+
+    def _acquire_replica(self, key: Tuple[int, int], expert_id: int) -> Expert:
+        """Pooled replica with this iteration's canonical weights."""
+        replica = self._replica_pool.get(key)
+        if replica is None:
+            replica = Expert(self.hidden_dim, mult=self.ffn_mult)
+            self._replica_pool[key] = replica
+        replica.refresh_from(self.experts[expert_id])
+        return replica
+
+    def invalidate_replicas(self) -> None:
+        """Drop pooled replica modules.
+
+        Call when canonical expert state changes shape/dtype out-of-band
+        (checkpoint import, degradation paths re-homing experts); normal
+        optimizer steps need no invalidation because every run() refreshes
+        replica weights from the canonical modules.
+        """
+        self._replica_pool.clear()
+
+    def import_state(self, state) -> None:
+        super().import_state(state)
+        self.invalidate_replicas()
 
     def finish_backward(self) -> None:
         """Ship pre-reduced expert gradients back to their home workers.
 
         Each machine accumulated the gradients of all its workers in one
         replica per expert (the pre-reduction of §5.1.2), so exactly one
-        gradient payload per (machine, pulled expert) travels home.
+        gradient payload per (machine, pulled expert) travels home — sent
+        by the worker that performed the cache-fill pull.
         """
         if getattr(self, "_backward_done", True):
             raise RuntimeError("finish_backward() must follow exactly one run()")
         self._backward_done = True
         for (machine, expert_id), replica in self._replicas.items():
             owner = self.placement.owner(expert_id)
-            sender = self._fetched_by[(machine, expert_id)]
+            sender = self._fill_rank[(machine, expert_id)]
             self.comm_log.record(
                 "grad_push", sender, owner, self.expert_bytes
             )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..models import combine_sorted, gather_slots
 from ..tensorlib import Tensor
 from .executor import MoEExecutor
 
@@ -24,57 +25,65 @@ class ExpertCentricMoE(MoEExecutor):
         self._run_start_index = len(self.comm_log.records)
         self._backward_done = False
         world = self.layout.world_size
-        outputs: List[Tensor] = [None] * world
+        plans = [decision.dispatch_plan() for decision in decisions]
 
-        # Phase 1+2+3 fused per expert: gather every worker's tokens for the
-        # expert (All-to-All dispatch), run the canonical expert once on the
-        # concatenated batch (exactly what the owner GPU does), then return
-        # and combine each slice (All-to-All combine).
+        # One gather per worker puts its routed tokens in sorted-by-expert
+        # order; every expert's share of a worker is then a contiguous
+        # segment (zero-copy slice) of that gather.
+        gathered = [
+            gather_slots(tokens, plan) if plan.total_routed else None
+            for tokens, plan in zip(worker_tokens, plans)
+        ]
+
+        # Phase 1+2+3 fused per expert: slice every worker's segment for
+        # the expert (All-to-All dispatch), run the canonical expert once
+        # on the concatenated batch (exactly what the owner GPU does), then
+        # return each worker its output slice (All-to-All combine).  The
+        # returned slices land in expert-ascending order — exactly the
+        # worker's sorted plan order — so each worker combines with one
+        # weighted scatter-add at the end.
+        returned: List[List[Tensor]] = [[] for _ in range(world)]
         for expert_id, expert in enumerate(self.experts):
             owner = self.placement.owner(expert_id)
             pieces = []
             meta = []
-            for rank, (tokens, decision) in enumerate(
-                zip(worker_tokens, decisions)
-            ):
-                token_ids, slot_ids = decision.slots_for_expert(expert_id)
-                if token_ids.size == 0:
+            for rank in range(world):
+                count = plans[rank].count(expert_id)
+                if count == 0:
                     continue
                 if rank != owner:
                     self.comm_log.record(
-                        "dispatch", rank, owner,
-                        token_ids.size * self.token_bytes,
+                        "dispatch", rank, owner, count * self.token_bytes
                     )
-                pieces.append(tokens.gather_rows(token_ids))
-                meta.append((rank, token_ids, slot_ids))
+                start, stop = plans[rank].segment_bounds(expert_id)
+                pieces.append(gathered[rank].row_slice(start, stop))
+                meta.append((rank, count))
             if not pieces:
                 continue
             batch = Tensor.concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
             expert_out = expert(batch)
             offset = 0
-            for rank, token_ids, slot_ids in meta:
-                count = token_ids.size
-                piece = expert_out[offset: offset + count]
+            for rank, count in meta:
+                piece = expert_out.row_slice(offset, offset + count)
                 offset += count
                 if rank != owner:
                     self.comm_log.record(
                         "combine", owner, rank, count * self.token_bytes
                     )
-                contribution = self._weighted_scatter(
-                    worker_tokens[rank].shape[0],
-                    token_ids,
-                    slot_ids,
-                    piece,
-                    decisions[rank],
-                )
-                if outputs[rank] is None:
-                    outputs[rank] = contribution
-                else:
-                    outputs[rank] = outputs[rank] + contribution
+                returned[rank].append(piece)
 
+        outputs: List[Tensor] = []
         for rank, tokens in enumerate(worker_tokens):
-            if outputs[rank] is None:
-                outputs[rank] = tokens * 0.0
+            pieces = returned[rank]
+            if not pieces:
+                outputs.append(tokens * 0.0)
+                continue
+            stacked = Tensor.concat(pieces, axis=0) if len(pieces) > 1 else pieces[0]
+            outputs.append(
+                combine_sorted(
+                    tokens.shape[0], plans[rank], decisions[rank], stacked
+                )
+            )
         return outputs
 
     def finish_backward(self) -> None:

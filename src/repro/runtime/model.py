@@ -63,6 +63,29 @@ class DistributedMoEBlock:
             for h, out, shape in zip(post_attention, mixed, shapes)
         ]
 
+    def forward_stacked(self, x: Tensor, worker_batches: List[int]) -> Tensor:
+        """Forward with every worker's activations stacked on the batch
+        axis (worker-major).
+
+        The replicated attention half runs once on the stack — attention,
+        LayerNorm and the FFN matmuls are all per-sequence/per-token, so
+        each worker's rows come out identical to a per-worker pass.  Only
+        the expert layer splits back into per-worker views (the executor's
+        routing and traffic accounting are per rank).
+        """
+        h = x + self.attention(self.ln1(x))
+        total_batch, seq, hidden = h.shape
+        flat = self.ln2(h).reshape(total_batch * seq, hidden)
+        worker_flat = []
+        offset = 0
+        for batch in worker_batches:
+            rows = batch * seq
+            worker_flat.append(flat.row_slice(offset, offset + rows))
+            offset += rows
+        mixed = self.executor.run(worker_flat)
+        combined = Tensor.concat(mixed, axis=0) if len(mixed) > 1 else mixed[0]
+        return h + combined.reshape(total_batch, seq, hidden)
+
     def parameters(self):
         params = []
         params.extend(self.ln1.parameters())
@@ -143,23 +166,31 @@ class DistributedMoETransformer:
                 f"expected {self.layout.world_size} worker batches, "
                 f"got {len(worker_token_ids)}"
             )
-        activations = []
-        for token_ids in worker_token_ids:
-            token_ids = np.asarray(token_ids)
-            batch, seq = token_ids.shape
-            positions = np.broadcast_to(np.arange(seq), (batch, seq))
-            activations.append(
-                self.token_embedding(token_ids)
-                + self.position_embedding(positions)
-            )
+        batches = [np.asarray(token_ids) for token_ids in worker_token_ids]
+        # All replicated (data-parallel) modules run once on the worker-
+        # major stack — numerically identical per worker, one graph node
+        # per op instead of one per worker.  Executors still see their
+        # per-worker token slices.
+        worker_batches = [token_ids.shape[0] for token_ids in batches]
+        stacked_ids = np.concatenate(batches, axis=0)
+        total_batch, seq = stacked_ids.shape
+        # (seq, H) position rows broadcast over the batch axis; backward is
+        # a sum-reduce instead of a per-row scatter-add.
+        x = self.token_embedding(stacked_ids) + self.position_embedding(
+            np.arange(seq)
+        )
         for block in self.blocks:
             if isinstance(block, DistributedMoEBlock):
-                activations = block.forward_all(activations)
+                x = block.forward_stacked(x, worker_batches)
             else:
-                activations = [block(x) for x in activations]
-        return [
-            self.lm_head(self.final_norm(x)) for x in activations
-        ]
+                x = block(x)
+        logits = self.lm_head(self.final_norm(x))
+        worker_logits = []
+        offset = 0
+        for batch in worker_batches:
+            worker_logits.append(logits.row_slice(offset, offset + batch))
+            offset += batch
+        return worker_logits
 
     def loss(
         self,

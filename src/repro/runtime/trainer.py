@@ -15,7 +15,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..tensorlib import Optimizer
-from ..tensorlib.optim import clip_grad_norm
+from ..tensorlib.optim import clip_grad_norm, global_grad_norm
 from .model import DistributedMoETransformer
 
 __all__ = ["StepMetrics", "DistributedTrainer", "linear_warmup_schedule"]
@@ -90,15 +90,7 @@ class DistributedTrainer:
         if self.grad_clip is not None:
             grad_norm = clip_grad_norm(self.optimizer.parameters, self.grad_clip)
         else:
-            grad_norm = float(
-                np.sqrt(
-                    sum(
-                        float((p.grad**2).sum())
-                        for p in self.optimizer.parameters
-                        if p.grad is not None
-                    )
-                )
-            )
+            grad_norm = global_grad_norm(self.optimizer.parameters)
         self.optimizer.step()
 
         metrics = StepMetrics(

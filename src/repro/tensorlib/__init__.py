@@ -4,7 +4,14 @@ from . import functional
 from .module import Embedding, LayerNorm, Linear, Module, Parameter, Sequential
 from .optim import Adam, Optimizer, SGD
 from .serialization import CheckpointError, load_checkpoint, save_checkpoint
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    set_default_dtype,
+)
 
 __all__ = [
     "Adam",
@@ -20,7 +27,10 @@ __all__ = [
     "Tensor",
     "load_checkpoint",
     "save_checkpoint",
+    "default_dtype",
     "functional",
+    "get_default_dtype",
     "is_grad_enabled",
     "no_grad",
+    "set_default_dtype",
 ]

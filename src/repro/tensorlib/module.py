@@ -15,6 +15,8 @@ __all__ = ["Parameter", "Module", "Linear", "LayerNorm", "Embedding", "Sequentia
 class Parameter(Tensor):
     """A tensor registered as a trainable weight."""
 
+    __slots__ = ()  # keep the Tensor layout dict-free
+
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
 

@@ -8,7 +8,21 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "global_grad_norm"]
+
+
+def global_grad_norm(parameters: Iterable[Tensor]) -> float:
+    """Global L2 norm over all present gradients.
+
+    Uses a flat dot product per parameter instead of materializing the
+    squared arrays; parameters without gradients are skipped.
+    """
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            flat = param.grad.ravel()
+            total += float(np.dot(flat, flat))
+    return float(np.sqrt(total))
 
 
 def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
@@ -19,13 +33,11 @@ def clip_grad_norm(parameters: Iterable[Tensor], max_norm: float) -> float:
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
     params = [p for p in parameters if p.grad is not None]
-    total = float(
-        np.sqrt(sum(float((p.grad**2).sum()) for p in params))
-    )
+    total = global_grad_norm(params)
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:
-            param.grad = param.grad * scale
+            param.grad *= scale
     return total
 
 
@@ -66,7 +78,9 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = param.grad
-            param.data = param.data - self.lr * update
+            # In place: the update never rebinds param.data, so exported
+            # views and optimizer state stay attached to the same buffer.
+            param.data -= self.lr * update
 
 
 class Adam(Optimizer):
@@ -97,7 +111,7 @@ class Adam(Optimizer):
             m *= self.beta1
             m += (1 - self.beta1) * param.grad
             v *= self.beta2
-            v += (1 - self.beta2) * param.grad**2
+            v += (1 - self.beta2) * (param.grad * param.grad)
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

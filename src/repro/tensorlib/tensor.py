@@ -16,11 +16,23 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+]
 
 Number = Union[int, float]
 
 _GRAD_ENABLED = [True]
+
+# Float precision of every Tensor created while the stack top is active.
+# float64 is the repo default (the EC/DC equivalence battery runs at tight
+# tolerances); float32 is an opt-in fast path for benchmarking.
+_DTYPE_STACK: List[np.dtype] = [np.dtype(np.float64)]
 
 
 class no_grad:
@@ -36,6 +48,38 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED[-1]
+
+
+def _check_dtype(dtype) -> np.dtype:
+    dtype = np.dtype(dtype)
+    if dtype.kind != "f":
+        raise ValueError(f"default dtype must be floating, got {dtype}")
+    return dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly constructed Tensors use."""
+    return _DTYPE_STACK[-1]
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide Tensor dtype (float64 or float32)."""
+    _DTYPE_STACK[-1] = _check_dtype(dtype)
+
+
+class default_dtype:
+    """Context manager scoping the Tensor dtype (like torch.set_default_dtype,
+    but restored on exit)."""
+
+    def __init__(self, dtype):
+        self.dtype = _check_dtype(dtype)
+
+    def __enter__(self):
+        _DTYPE_STACK.append(self.dtype)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _DTYPE_STACK.pop()
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -56,6 +100,18 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """An n-d array with optional gradient tracking."""
 
+    # Tensors are allocated by the thousands per training step; __slots__
+    # keeps them dict-free and makes attribute access cheaper.
+    __slots__ = (
+        "data",
+        "requires_grad",
+        "grad",
+        "_parents",
+        "_backward",
+        "name",
+        "_topo",
+    )
+
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(
@@ -66,12 +122,13 @@ class Tensor:
         _backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_DTYPE_STACK[-1])
         self.requires_grad = requires_grad and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
+        self._topo: Optional[List["Tensor"]] = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -129,41 +186,61 @@ class Tensor:
                       _backward=backward)
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        # First contribution is a copy (one memory pass), later ones add in
+        # place; `grad = grad + g` rebinding was a fresh allocation per edge.
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = np.array(grad, dtype=self.data.dtype)
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        # Same contract as _accumulate, but the caller guarantees ``grad``
+        # is a freshly-allocated array this node may take ownership of
+        # (never a view of an upstream gradient), skipping the first copy.
+        if self.grad is None:
+            if grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(self.data.dtype)
+        else:
+            self.grad += grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
-        """Backpropagate from this tensor through the recorded graph."""
+        """Backpropagate from this tensor through the recorded graph.
+
+        The topological order is cached on the tensor, so calling
+        ``backward`` repeatedly on the same graph (e.g. per-term backward
+        in a trainer loop) skips the graph walk.
+        """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor without grad tracking")
         if grad is None:
             if self.size != 1:
                 raise RuntimeError("backward() without grad requires a scalar")
             grad = np.ones_like(self.data)
-        topo: List[Tensor] = []
-        visited = set()
+        if self._topo is None:
+            topo: List[Tensor] = []
+            visited = set()
 
-        def visit(node: "Tensor"):
-            stack = [(node, False)]
-            while stack:
-                current, expanded = stack.pop()
-                if expanded:
-                    topo.append(current)
-                    continue
-                if id(current) in visited:
-                    continue
-                visited.add(id(current))
-                stack.append((current, True))
-                for parent in current._parents:
-                    if parent.requires_grad and id(parent) not in visited:
-                        stack.append((parent, False))
+            def visit(node: "Tensor"):
+                stack = [(node, False)]
+                while stack:
+                    current, expanded = stack.pop()
+                    if expanded:
+                        topo.append(current)
+                        continue
+                    if id(current) in visited:
+                        continue
+                    visited.add(id(current))
+                    stack.append((current, True))
+                    for parent in current._parents:
+                        if parent.requires_grad and id(parent) not in visited:
+                            stack.append((parent, False))
 
-        visit(self)
-        self._accumulate(np.asarray(grad, dtype=np.float64))
-        for node in reversed(topo):
+            visit(self)
+            self._topo = topo
+        self._accumulate(np.asarray(grad, dtype=self.data.dtype))
+        for node in reversed(self._topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
 
@@ -189,7 +266,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate_owned(-grad)
 
         return self._make(-self.data, (self,), backward)
 
@@ -205,9 +282,9 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+                self._accumulate_owned(_unbroadcast(grad * other.data, self.shape))
             if other.requires_grad:
-                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+                other._accumulate_owned(_unbroadcast(grad * self.data, other.shape))
 
         return self._make(out_data, (self, other), backward)
 
@@ -227,7 +304,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(
+                self._accumulate_owned(
                     grad * exponent * self.data ** (exponent - 1)
                 )
 
@@ -235,15 +312,35 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = Tensor.as_tensor(other)
+        if self.data.ndim > 2 and other.data.ndim == 2:
+            # Linear-layer shape (..., K) @ (K, N): one flat GEMM instead of
+            # the batched-matmul loop, and the weight grad collapses to a
+            # single (K, rows) @ (rows, N) product with no broadcast sum.
+            flat = self.data.reshape(-1, self.data.shape[-1])
+            out_data = (flat @ other.data).reshape(
+                self.data.shape[:-1] + (other.data.shape[-1],)
+            )
+
+            def backward(grad):
+                grad_flat = grad.reshape(-1, grad.shape[-1])
+                if self.requires_grad:
+                    self._accumulate_owned(
+                        (grad_flat @ other.data.T).reshape(self.data.shape)
+                    )
+                if other.requires_grad:
+                    other._accumulate_owned(flat.T @ grad_flat)
+
+            return self._make(out_data, (self, other), backward)
+
         out_data = self.data @ other.data
 
         def backward(grad):
             if self.requires_grad:
                 grad_self = grad @ np.swapaxes(other.data, -1, -2)
-                self._accumulate(_unbroadcast(grad_self, self.shape))
+                self._accumulate_owned(_unbroadcast(grad_self, self.shape))
             if other.requires_grad:
                 grad_other = np.swapaxes(self.data, -1, -2) @ grad
-                other._accumulate(_unbroadcast(grad_other, other.shape))
+                other._accumulate_owned(_unbroadcast(grad_other, other.shape))
 
         return self._make(out_data, (self, other), backward)
 
@@ -285,9 +382,9 @@ class Tensor:
             if axis is not None and not keepdims:
                 expanded = np.expand_dims(out_data, axis=axis)
                 g = np.expand_dims(grad, axis=axis)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             mask /= mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * g)
+            self._accumulate_owned(mask * g)
 
         return self._make(out_data, (self,), backward)
 
@@ -298,7 +395,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate_owned(grad * out_data)
 
         return self._make(out_data, (self,), backward)
 
@@ -307,7 +404,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate_owned(grad / self.data)
 
         return self._make(out_data, (self,), backward)
 
@@ -317,7 +414,7 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate_owned(grad * mask)
 
         return self._make(out_data, (self,), backward)
 
@@ -326,24 +423,46 @@ class Tensor:
 
         def backward(grad):
             if self.requires_grad:
-                self._accumulate(grad * (1 - out_data**2))
+                self._accumulate_owned(grad * (1 - out_data**2))
 
         return self._make(out_data, (self,), backward)
 
     def gelu(self) -> "Tensor":
-        """tanh-approximated GELU (as used by BERT/GPT)."""
+        """tanh-approximated GELU (as used by BERT/GPT).
+
+        The hottest nonlinearity in the runtime (dense FFNs and every
+        expert), so both directions build their result in-place: two
+        temporaries each instead of one allocation-and-pass per arithmetic
+        step.
+        """
         c = np.sqrt(2.0 / np.pi)
         x = self.data
-        inner = c * (x + 0.044715 * x**3)
-        t = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + t)
+        x2 = x * x  # reused by backward; x*x avoids the slow pow() ufunc
+        t = x2 * 0.044715
+        t *= x
+        t += x
+        t *= c
+        np.tanh(t, out=t)  # t = tanh(c * (x + 0.044715 x^3))
+        out_data = 1.0 + t
+        out_data *= x
+        out_data *= 0.5
 
         def backward(grad):
             if not self.requires_grad:
                 return
-            d_inner = c * (1.0 + 3 * 0.044715 * x**2)
-            d = 0.5 * (1.0 + t) + 0.5 * x * (1 - t**2) * d_inner
-            self._accumulate(grad * d)
+            # d/dx = (1 + t)/2 + x/2 (1 - t^2) * c (1 + 3*0.044715 x^2)
+            d_inner = x2 * (3 * 0.044715)
+            d_inner += 1.0
+            d_inner *= c
+            d = t * t
+            np.subtract(1.0, d, out=d)
+            d *= d_inner
+            d *= x
+            d += t
+            d += 1.0
+            d *= 0.5
+            d *= grad
+            self._accumulate_owned(d)
 
         return self._make(out_data, (self,), backward)
 
@@ -387,7 +506,25 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, key, grad)
-                self._accumulate(full)
+                self._accumulate_owned(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def row_slice(self, start: int, stop: int) -> "Tensor":
+        """Contiguous leading-axis slice ``self[start:stop]``.
+
+        Unlike ``__getitem__``, the backward pass adds straight into the
+        ``[start:stop]`` band of the preallocated gradient instead of
+        scatter-adding through a full-size temporary — the cheap segment
+        primitive the sorted MoE dispatch path leans on.
+        """
+        out_data = self.data[start:stop]
+
+        def backward(grad):
+            if self.requires_grad:
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                self.grad[start:stop] += grad
 
         return self._make(out_data, (self,), backward)
 
@@ -409,12 +546,12 @@ class Tensor:
         """
         index = np.asarray(index)
         values = Tensor.as_tensor(values)
-        out_data = np.zeros((num_rows,) + values.shape[1:])
+        out_data = np.zeros((num_rows,) + values.shape[1:], dtype=values.data.dtype)
         np.add.at(out_data, index, values.data)
 
         def backward(grad):
             if values.requires_grad:
-                values._accumulate(grad[index])
+                values._accumulate_owned(grad[index])
 
         return values._make(out_data, (values,), backward)
 

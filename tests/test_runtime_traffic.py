@@ -115,6 +115,17 @@ class TestCommLog:
         log.clear()
         assert log.total_bytes() == 0
 
+    def test_intra_machine_bytes(self):
+        layout = RankLayout(2, 2)
+        log = CommLog(layout)
+        log.record("expert_pull", 0, 1, 7)   # same machine, different rank
+        log.record("expert_pull", 0, 2, 11)  # cross machine
+        log.record("expert_pull", 1, 1, 13)  # rank to itself: no movement
+        assert log.intra_machine_bytes() == 7
+        assert log.intra_machine_bytes(["grad_push"]) == 0
+        assert log.cross_machine_bytes() == 11
+        assert log.total_bytes() == 31
+
 
 def run_iteration(executor, layout, tokens_per_worker=64, seed=0):
     rng = np.random.default_rng(seed)
@@ -297,3 +308,102 @@ class TestParadigmComparison:
             ec.comm_log.cross_machine_bytes()
             < dc.comm_log.cross_machine_bytes()
         )
+
+
+class TestCacheAttributionAndPooling:
+    """Regression battery for the cache-hit attribution fix: the worker
+    that fills the machine cache stays the machine's grad_push sender, no
+    matter how many same-machine workers hit the cache afterwards."""
+
+    def _executor(self):
+        # top_k == num_experts makes routing deterministic: every worker
+        # uses every expert.  One machine, three workers, one expert each:
+        # every fetch of a non-resident expert is intra-machine.
+        layout = RankLayout(1, 3)
+        executor = DataCentricMoE(
+            HIDDEN, 3, 3, layout, dtype_bytes=DTYPE_BYTES,
+            rng=np.random.default_rng(1),
+        )
+        return layout, executor
+
+    def test_grad_push_sent_by_fill_rank_not_last_reader(self):
+        layout, executor = self._executor()
+        run_iteration(executor, layout, tokens_per_worker=4)
+        pushes = [
+            record for record in executor.comm_log.records
+            if record.kind == "grad_push"
+        ]
+        # Fill ranks: rank 0 filled experts 1 and 2, rank 1 filled expert 0
+        # (rank 0 owns it).  The last readers were ranks 2, 1 and 2 — the
+        # pre-fix senders — so any of these flipping means the attribution
+        # regressed.
+        assert {(push.src_rank, push.dst_rank) for push in pushes} == {
+            (0, 1),  # expert 1 home
+            (0, 2),  # expert 2 home
+            (1, 0),  # expert 0 home
+        }
+
+    def test_cache_hits_chain_through_previous_reader(self):
+        layout, executor = self._executor()
+        run_iteration(executor, layout, tokens_per_worker=4)
+        pulls = [
+            (record.src_rank, record.dst_rank)
+            for record in executor.comm_log.records
+            if record.kind == "expert_pull"
+        ]
+        # Rank 0: fills experts 1 and 2.  Rank 1: fills expert 0, then hits
+        # expert 2 (served by previous reader 0).  Rank 2: hits expert 0
+        # (served by 1) and expert 1 (served by 0).
+        assert pulls == [(1, 0), (2, 0), (0, 1), (0, 1), (1, 2), (0, 2)]
+
+    def test_census_and_totals_unchanged_by_attribution(self):
+        """The fix only re-attributes grad_push endpoints: the pull census
+        and the aggregate byte totals stay what they were."""
+        layout, executor = self._executor()
+        run_iteration(executor, layout, tokens_per_worker=4)
+        log = executor.comm_log
+        assert executor.pulled_expert_count() == 3
+        assert log.total_bytes(["expert_pull"]) == pytest.approx(
+            6 * executor.expert_bytes
+        )
+        assert log.total_bytes(["grad_push"]) == pytest.approx(
+            3 * executor.expert_bytes
+        )
+        # Single machine: everything is intra-machine traffic.
+        assert log.cross_machine_bytes() == 0
+        assert log.intra_machine_bytes() == pytest.approx(log.total_bytes())
+
+    def test_replica_pool_reused_across_iterations(self):
+        layout, executor = self._executor()
+        run_iteration(executor, layout, tokens_per_worker=4)
+        first_pool = dict(executor._replica_pool)
+        assert len(first_pool) == 3
+        run_iteration(executor, layout, tokens_per_worker=4, seed=1)
+        # Same module objects: later iterations only refresh weights.
+        assert {
+            key: id(replica) for key, replica in executor._replica_pool.items()
+        } == {key: id(replica) for key, replica in first_pool.items()}
+
+    def test_invalidate_replicas_drops_pool(self):
+        layout, executor = self._executor()
+        run_iteration(executor, layout, tokens_per_worker=4)
+        first = {
+            key: id(replica)
+            for key, replica in executor._replica_pool.items()
+        }
+        executor.invalidate_replicas()
+        assert executor._replica_pool == {}
+        run_iteration(executor, layout, tokens_per_worker=4, seed=1)
+        second = {
+            key: id(replica)
+            for key, replica in executor._replica_pool.items()
+        }
+        assert set(first) == set(second)
+        assert all(first[key] != second[key] for key in first)
+
+    def test_import_state_invalidates_pool(self):
+        layout, executor = self._executor()
+        run_iteration(executor, layout, tokens_per_worker=4)
+        assert executor._replica_pool
+        executor.import_state(executor.export_state())
+        assert executor._replica_pool == {}
