@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint bench bench-check bench-write bench-runtime \
-	bench-runtime-check bench-runtime-write figs profile \
+	bench-runtime-check bench-runtime-write bench-schedules \
+	bench-schedules-check bench-schedules-write figs profile \
 	baseline baseline-write coverage chaos reports examples clean
 
 install:
@@ -38,6 +39,19 @@ bench-runtime-check:
 
 bench-runtime-write:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite runtime --write
+
+# Task-graph schedule benchmark (mixed-R MoE-GPT: micro-batching, grad
+# all-reduce, auto).  The check gates on calibration-rescaled wall medians
+# AND the simulated-time schedule wins; snapshot lives in
+# benchmarks/BENCH_schedules.json.
+bench-schedules:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite schedules
+
+bench-schedules-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite schedules --quick --check
+
+bench-schedules-write:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite schedules --write
 
 # cProfile the hottest Fig. 14 config (top 25 by cumulative time).
 profile:

@@ -24,6 +24,18 @@ from .speed import (
     time_config,
     write_snapshot,
 )
+from .schedules import (
+    DEFAULT_SCHEDULES_SNAPSHOT_PATH,
+    SCHEDULE_FULL_CONFIGS,
+    SCHEDULE_QUICK_CONFIGS,
+    SCHEDULES_SCHEMA,
+    ScheduleBenchConfig,
+    check_schedule_wins,
+    check_schedules_snapshot,
+    format_schedules_suite,
+    run_schedules_suite,
+    time_schedule_config,
+)
 from .runtime_speed import (
     DEFAULT_RUNTIME_SNAPSHOT_PATH,
     RUNTIME_FULL_CONFIGS,
@@ -38,6 +50,7 @@ from .runtime_speed import (
 __all__ = [
     "BenchConfig",
     "DEFAULT_RUNTIME_SNAPSHOT_PATH",
+    "DEFAULT_SCHEDULES_SNAPSHOT_PATH",
     "DEFAULT_SNAPSHOT_PATH",
     "FULL_CONFIGS",
     "QUICK_CONFIGS",
@@ -45,14 +58,23 @@ __all__ = [
     "RUNTIME_QUICK_CONFIGS",
     "RUNTIME_SCHEMA",
     "RuntimeBenchConfig",
+    "SCHEDULE_FULL_CONFIGS",
+    "SCHEDULE_QUICK_CONFIGS",
+    "SCHEDULES_SCHEMA",
     "SCHEMA",
+    "ScheduleBenchConfig",
     "calibrate",
+    "check_schedule_wins",
+    "check_schedules_snapshot",
     "check_snapshot",
     "format_runtime_suite",
+    "format_schedules_suite",
     "format_suite",
     "run_runtime_suite",
+    "run_schedules_suite",
     "run_suite",
     "time_config",
     "time_runtime_config",
+    "time_schedule_config",
     "write_snapshot",
 ]

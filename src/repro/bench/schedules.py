@@ -1,0 +1,203 @@
+"""Benchmark of the task-graph-only schedules (micro-batching, all-reduce).
+
+Times the mixed-R MoE-GPT configuration — one 32-expert block where the
+expert-centric family wins and one 256-expert block where data-centric
+wins — under the schedules the task graph unlocked: plain expert-centric
+(the baseline), micro-batched expert-centric, serial vs. overlapped
+backward gradient all-reduce, and the schedule-aware ``auto`` engine.
+
+Unlike the Fig. 14 speed suite, this capture gates on *two* axes:
+
+* wall-clock medians against ``benchmarks/BENCH_schedules.json`` with the
+  same calibration rescaling as :mod:`repro.bench.speed` (simulator
+  efficiency, host-independent), and
+* the **structural schedule wins**, which are pure simulated-time facts:
+  micro-batching must beat plain expert-centric and the overlapped
+  all-reduce must beat the serial one.  These hold on any host; a
+  violation means a schedule regression, not a slow runner.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .speed import calibrate, check_snapshot
+
+SCHEDULES_SCHEMA = "janus-repro/bench-schedules/v1"
+
+DEFAULT_SCHEDULES_SNAPSHOT_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_schedules.json"
+)
+
+# The mixed-R shape: moe_gpt(32) with block 10 widened to 256 experts.
+_MIXED_EXPERTS = {6: 32, 10: 256}
+_MACHINES = 4
+
+
+class ScheduleBenchConfig(NamedTuple):
+    """One timed schedule of the mixed-R model."""
+
+    mode: str
+    micro_batches: int = 1
+    grad_allreduce: str = "none"
+
+    @property
+    def key(self) -> str:
+        parts = [self.mode]
+        if self.micro_batches > 1:
+            parts.append(f"mb{self.micro_batches}")
+        if self.grad_allreduce != "none":
+            parts.append(f"ar-{self.grad_allreduce}")
+        return "/".join(parts)
+
+
+SCHEDULE_FULL_CONFIGS: Tuple[ScheduleBenchConfig, ...] = (
+    ScheduleBenchConfig("expert-centric"),
+    ScheduleBenchConfig("microbatch-ec", micro_batches=4),
+    ScheduleBenchConfig("expert-centric", grad_allreduce="serial"),
+    ScheduleBenchConfig("expert-centric", grad_allreduce="overlap"),
+    ScheduleBenchConfig("auto", micro_batches=4),
+)
+
+# CI smoke subset: the headline structural win plus its baseline.
+SCHEDULE_QUICK_CONFIGS: Tuple[ScheduleBenchConfig, ...] = (
+    ScheduleBenchConfig("expert-centric"),
+    ScheduleBenchConfig("microbatch-ec", micro_batches=4),
+)
+
+
+def _mixed_model():
+    from ..config import moe_gpt
+
+    return moe_gpt(32).scaled(experts_per_block=dict(_MIXED_EXPERTS))
+
+
+def time_schedule_config(spec: ScheduleBenchConfig, runs: int = 2) -> Dict:
+    """Time ``runs`` cold iterations of one schedule; report the median."""
+    from ..cluster import Cluster
+    from ..core import JanusFeatures, build_workload, engine_for
+
+    config = _mixed_model()
+    cluster = Cluster(_MACHINES)
+    workload = build_workload(config, cluster)
+    features = JanusFeatures(
+        micro_batches=spec.micro_batches,
+        grad_allreduce=spec.grad_allreduce,
+    )
+    samples: List[float] = []
+    events = 0
+    sim_seconds = 0.0
+    for _ in range(runs):
+        engine = engine_for(
+            spec.mode, config, cluster, workload=workload,
+            features=features, check_memory=False,
+        )
+        start = time.perf_counter()
+        result = engine.run_iteration()
+        samples.append(time.perf_counter() - start)
+        events = result.sim_events
+        sim_seconds = result.seconds
+    median = statistics.median(samples)
+    return {
+        "median_s": median,
+        "best_s": min(samples),
+        "samples": [round(sample, 6) for sample in samples],
+        "sim_seconds": sim_seconds,
+        "events": events,
+        "events_per_s": events / median if median > 0 else 0.0,
+    }
+
+
+def run_schedules_suite(
+    configs: Sequence[ScheduleBenchConfig] = SCHEDULE_FULL_CONFIGS,
+    runs: int = 2,
+    calibration: Optional[float] = None,
+) -> Dict:
+    """Time every schedule config and assemble the capture."""
+    return {
+        "schema": SCHEDULES_SCHEMA,
+        "config": {
+            "model": "MoE-GPT",
+            "experts_per_block": {
+                str(block): count
+                for block, count in sorted(_MIXED_EXPERTS.items())
+            },
+            "machines": _MACHINES,
+            "runs": runs,
+        },
+        "calibration_s": calibrate() if calibration is None else calibration,
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "runs": {
+            spec.key: time_schedule_config(spec, runs=runs)
+            for spec in configs
+        },
+    }
+
+
+# (faster key, slower key) — simulated-time orderings the schedules must
+# preserve on every host.  Pairs whose keys a capture did not run (the
+# --quick subset) are skipped.
+STRUCTURAL_WINS: Tuple[Tuple[str, str], ...] = (
+    ("microbatch-ec/mb4", "expert-centric"),
+    ("expert-centric/ar-overlap", "expert-centric/ar-serial"),
+    ("auto/mb4", "expert-centric"),
+)
+
+
+def check_schedule_wins(current: Dict) -> List[str]:
+    """Structural gate: the schedule speedups must hold in simulated time."""
+    problems = []
+    runs = current.get("runs", {})
+    for fast_key, slow_key in STRUCTURAL_WINS:
+        if fast_key not in runs or slow_key not in runs:
+            continue
+        fast = runs[fast_key]["sim_seconds"]
+        slow = runs[slow_key]["sim_seconds"]
+        if fast >= slow:
+            problems.append(
+                f"{fast_key}: simulated {fast * 1e3:.2f} ms/iter does not "
+                f"beat {slow_key} ({slow * 1e3:.2f} ms/iter)"
+            )
+    return problems
+
+
+def check_schedules_snapshot(
+    current: Dict, snapshot: Dict, tolerance: float = 0.25
+) -> List[str]:
+    """Wall-clock regression gate (calibration-rescaled) + structural wins."""
+    return check_schedule_wins(current) + check_snapshot(
+        current, snapshot, tolerance=tolerance
+    )
+
+
+def format_schedules_suite(current: Dict) -> str:
+    """Human-readable table of a capture, with speedups vs the baseline."""
+    runs = current.get("runs", {})
+    base = runs.get("expert-centric", {}).get("sim_seconds")
+    header = (
+        f"{'schedule':<30} {'sim ms/iter':>12} {'vs EC':>7} "
+        f"{'wall ms':>9} {'events':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for key, entry in runs.items():
+        sim = entry["sim_seconds"]
+        speedup = f"{base / sim:.2f}x" if base and sim > 0 else "-"
+        lines.append(
+            f"{key:<30} {sim * 1e3:>12.2f} {speedup:>7} "
+            f"{entry['median_s'] * 1e3:>9.1f} {entry['events']:>8d}"
+        )
+    lines.append(
+        f"calibration: {current.get('calibration_s', 0.0) * 1e3:.1f} ms"
+    )
+    return "\n".join(lines)

@@ -18,6 +18,8 @@ Commands:
   ``benchmarks/BENCH_speed.json``; ``--suite runtime`` times numerical
   trainer steps (sorted dispatch, both paradigms) against
   ``benchmarks/BENCH_runtime.json``.
+* ``graph``    — build, validate and export the iteration's task graph
+  (Graphviz DOT / structural JSON) without running it.
 * ``table1``   — regenerate the paper's Table 1 traffic comparison.
 * ``goodput``  — the §3.1 All-to-All goodput stress test.
 
@@ -44,12 +46,14 @@ from .config import (
 )
 from .comm import PullFailedError
 from .core import (
+    GraphValidationError,
     JanusFeatures,
     engine_for,
     engine_modes,
     estimate_data_centric,
     estimate_expert_centric,
     profile_model,
+    strategy_names,
 )
 from .faults import FaultPlan, MessageLoss, ResilienceConfig
 from .metrics import (
@@ -253,6 +257,16 @@ def cmd_report(args) -> int:
         title=f"{config.name} / {args.paradigm} "
               f"({args.machines} machines, {args.iterations} iterations)",
     ))
+    tasks = report.get("tasks")
+    if tasks:
+        task_rows = [
+            [kind, f"{entry['count']:.0f}", f"{entry['seconds'] * 1e3:.2f}"]
+            for kind, entry in tasks.items()
+        ]
+        print(format_table(
+            ["Task kind", "Count", "Busy ms"], task_rows,
+            title="task-graph breakdown (all iterations)",
+        ))
     if args.out == "-":
         import json
 
@@ -318,17 +332,30 @@ def _bench_capture(args, suite: str):
     """Run one bench suite ("sim" or "runtime"); return (capture, path)."""
     from .bench import (
         DEFAULT_RUNTIME_SNAPSHOT_PATH,
+        DEFAULT_SCHEDULES_SNAPSHOT_PATH,
         DEFAULT_SNAPSHOT_PATH,
         FULL_CONFIGS,
         QUICK_CONFIGS,
         RUNTIME_FULL_CONFIGS,
         RUNTIME_QUICK_CONFIGS,
+        SCHEDULE_FULL_CONFIGS,
+        SCHEDULE_QUICK_CONFIGS,
         format_runtime_suite,
+        format_schedules_suite,
         format_suite,
         run_runtime_suite,
+        run_schedules_suite,
         run_suite,
     )
 
+    if suite == "schedules":
+        configs = (
+            SCHEDULE_QUICK_CONFIGS if args.quick else SCHEDULE_FULL_CONFIGS
+        )
+        runs = args.runs if args.runs is not None else (1 if args.quick else 2)
+        current = run_schedules_suite(configs, runs=runs)
+        print(format_schedules_suite(current))
+        return current, DEFAULT_SCHEDULES_SNAPSHOT_PATH
     if suite == "sim":
         configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
         runs = args.runs if args.runs is not None else (1 if args.quick else 3)
@@ -355,9 +382,17 @@ def cmd_bench(args) -> int:
     numerical runtime (``BENCH_runtime.json``)."""
     import json
 
-    from .bench import check_snapshot, write_snapshot
+    from .bench import (
+        check_schedules_snapshot,
+        check_snapshot,
+        write_snapshot,
+    )
 
-    suites = ("sim", "runtime") if args.suite == "all" else (args.suite,)
+    suites = (
+        ("sim", "runtime", "schedules")
+        if args.suite == "all"
+        else (args.suite,)
+    )
     if len(suites) > 1 and (args.path is not None or args.out is not None):
         print("--path/--out are ambiguous with --suite all", file=sys.stderr)
         return 2
@@ -384,9 +419,13 @@ def cmd_bench(args) -> int:
                 )
                 return 2
             snapshot = json.loads(path.read_text())
-            problems = check_snapshot(
-                current, snapshot, tolerance=args.tolerance
+            # The schedules suite also gates on its simulated-time wins.
+            checker = (
+                check_schedules_snapshot
+                if suite == "schedules"
+                else check_snapshot
             )
+            problems = checker(current, snapshot, tolerance=args.tolerance)
             snap_dtype = snapshot.get("config", {}).get("dtype")
             cur_dtype = current.get("config", {}).get("dtype")
             if snap_dtype != cur_dtype:
@@ -411,6 +450,42 @@ def cmd_bench(args) -> int:
                 f"{args.tolerance:.0%} of {path.name}"
             )
     return worst
+
+
+def cmd_graph(args) -> int:
+    """Build, validate and export the iteration's task graph without
+    running it (Graphviz DOT and/or structural JSON)."""
+    import json
+    from collections import Counter
+
+    config = _resolve_model(args)
+    cluster = Cluster(args.machines)
+    try:
+        engine = engine_for(args.paradigm, config, cluster)
+        graph = engine.build_graph(forward_only=args.inference)
+        order = graph.validate()
+    except (GraphValidationError,) + _SIMULATION_ERRORS as exc:
+        print(f"{config.name} / {args.paradigm}: {exc}", file=sys.stderr)
+        return 1
+    kinds = Counter(task.kind.value for task in graph.tasks())
+    # Keep stdout clean for piping when an export goes to "-".
+    summary_out = sys.stderr if "-" in (args.dot, args.json) else sys.stdout
+    print(f"{config.name} / {args.paradigm}: task graph OK — "
+          f"{len(order)} tasks in {len(graph.lanes)} lanes", file=summary_out)
+    for kind, count in sorted(kinds.items()):
+        print(f"  {kind:<16} {count}", file=summary_out)
+    for path, render in ((args.dot, graph.to_dot),
+                         (args.json, lambda: json.dumps(
+                             graph.to_json(), indent=1, sort_keys=True))):
+        if path is None:
+            continue
+        text = render()
+        if path == "-":
+            print(text)
+        else:
+            Path(path).write_text(text + "\n")
+            print(f"written to {path}")
+    return 0
 
 
 def cmd_table1(args) -> int:
@@ -521,7 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated pull-request loss rates",
     )
     chaos.add_argument(
-        "--paradigms", default="expert-centric,data-centric,unified",
+        "--paradigms",
+        # Every registered block strategy plus the unified selector — new
+        # strategies join the sweep by registering, not by editing the CLI.
+        default=",".join(strategy_names() + ("unified",)),
         help="comma-separated engine modes to sweep",
     )
     chaos.add_argument("--seed", type=int, default=0,
@@ -531,11 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="wall-clock benchmark of the simulator / runtime"
     )
-    bench.add_argument("--suite", choices=("sim", "runtime", "all"),
+    bench.add_argument("--suite",
+                       choices=("sim", "runtime", "schedules", "all"),
                        default="sim",
                        help="sim = simulator configs (BENCH_speed.json); "
                             "runtime = numerical trainer steps "
-                            "(BENCH_runtime.json); all = both")
+                            "(BENCH_runtime.json); schedules = task-graph "
+                            "schedules on the mixed-R model "
+                            "(BENCH_schedules.json); all = every suite")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset (MoE-GPT, 3 paradigms)")
     bench.add_argument("--runs", type=_positive_int, default=None,
@@ -559,10 +640,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also dump the fresh capture JSON here")
     bench.add_argument(
         "--path", type=Path, default=None,
-        help="snapshot location (default benchmarks/BENCH_speed.json or "
-             "BENCH_runtime.json per --suite)",
+        help="snapshot location (default benchmarks/BENCH_speed.json, "
+             "BENCH_runtime.json or BENCH_schedules.json per --suite)",
     )
     bench.set_defaults(func=cmd_bench)
+
+    graph = sub.add_parser(
+        "graph", help="validate and export the iteration task graph"
+    )
+    _add_model_arguments(graph)
+    graph.add_argument(
+        "--paradigm",
+        choices=sorted(engine_modes()),
+        default="unified",
+        help="block-execution strategy, the unified selector or 'auto'",
+    )
+    graph.add_argument("--inference", action="store_true",
+                       help="forward-only (serving) graph")
+    graph.add_argument("--dot", default=None, metavar="PATH",
+                       help="write Graphviz DOT here ('-' prints to stdout)")
+    graph.add_argument("--json", default=None, metavar="PATH",
+                       help="write structural JSON here ('-' prints)")
+    graph.set_defaults(func=cmd_graph)
 
     table = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table.set_defaults(func=cmd_table1)

@@ -48,12 +48,29 @@ class JanusFeatures:
     # and combine All-to-Alls are split into, so expert compute on chunk i
     # overlaps the All-to-All of chunk i+1 (Parm/FlowMoE-style).
     ec_pipeline_chunks: int = 4
+    # Task-graph scheduler: number of micro-batches M a micro-capable
+    # strategy splits the global batch into (pipeline-parallel interleaving
+    # of the per-block DAGs).  Inert unless a micro-capable strategy (e.g.
+    # ``microbatch-ec``) is selected, so the default changes nothing.
+    micro_batches: int = 4
+    # Backward dense-gradient all-reduce scheduling: "none" (not modelled,
+    # the legacy behaviour), "serial" (one all-reduce sweep after every
+    # worker finishes its backward), or "overlap" (per-block all-reduces
+    # launched as soon as that block's backward dense compute retires,
+    # filling idle link time behind later backward blocks).
+    grad_allreduce: str = "none"
 
     def __post_init__(self):
         if self.credit_size <= 0:
             raise ValueError("credit_size must be positive")
         if self.ec_pipeline_chunks <= 0:
             raise ValueError("ec_pipeline_chunks must be positive")
+        if self.micro_batches <= 0:
+            raise ValueError("micro_batches must be positive")
+        if self.grad_allreduce not in ("none", "serial", "overlap"):
+            raise ValueError(
+                "grad_allreduce must be 'none', 'serial' or 'overlap'"
+            )
 
 
 class IterationContext:

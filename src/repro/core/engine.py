@@ -37,6 +37,7 @@ from .context import IterationContext, JanusFeatures
 from .memory_model import check_fits, estimate_strategies
 from .paradigm import Paradigm
 from .strategies import get_strategy, resolve_strategy_name, strategy_names
+from .taskgraph import build_iteration_plan, run_lane
 from .workload import IterationWorkload
 
 __all__ = ["IterationResult", "JanusEngine"]
@@ -108,6 +109,7 @@ class JanusEngine:
         degradation=None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceRecorder] = None,
+        scheduler: str = "taskgraph",
     ):
         """``block_strategies`` maps every MoE block index to the strategy
         that executes it: a registered strategy name, a
@@ -135,6 +137,14 @@ class JanusEngine:
         (:class:`~repro.faults.DegradationPolicy`) switches blocks that
         keep blowing their pull deadlines to the fallback strategy between
         iterations of :meth:`run`.
+
+        ``scheduler`` picks how the iteration's processes are organised:
+        ``"taskgraph"`` (the default) builds an explicit task DAG via
+        :mod:`repro.core.taskgraph` and runs one simkit process per lane —
+        bit-identical to the legacy path for the built-in paradigms, and
+        the only path that supports micro-batching and gradient all-reduce
+        schedules; ``"legacy"`` keeps the original hand-rolled process
+        spawning (retained for the equivalence test battery).
 
         ``metrics`` (:class:`~repro.metrics.MetricsRegistry`) enables
         quantitative observability: live counters in the schedulers plus
@@ -167,6 +177,11 @@ class JanusEngine:
         self.degradation = degradation
         self.metrics = metrics
         self.trace_recorder = trace
+        if scheduler not in ("taskgraph", "legacy"):
+            raise ValueError(
+                f"scheduler must be 'taskgraph' or 'legacy', got {scheduler!r}"
+            )
+        self.scheduler = scheduler
         self.iterations_run = 0
         moe_indices = {b.index for b in workload.moe_blocks()}
         if set(block_strategies) != moe_indices:
@@ -205,24 +220,20 @@ class JanusEngine:
 
     # -- public API ----------------------------------------------------------------
 
-    def run_iteration(self, forward_only: bool = False) -> IterationResult:
-        """Simulate one iteration from a cold start; returns its result.
-
-        ``forward_only=True`` simulates an inference pass (§9: the same
-        communication design applies to serving): no backward sweep, no
-        gradient return traffic.
-        """
-        if self.check_memory:
-            self._check_memory()
-        self._jitter_rng = np.random.default_rng(self.jitter_seed)
+    def _prepare(self, forward_only: bool, trace=None):
+        """Build the per-iteration world: environment, fabric, fault
+        machinery, strategies and context.  Shared verbatim by both
+        schedulers and by :meth:`build_graph` (exact code move from the
+        legacy ``run_iteration`` — bit-identity depends on it)."""
         env = Environment()
         fabric = Fabric(env, self.cluster)
-        if self.trace_recorder is not None:
-            trace = self.trace_recorder
-            if self.iterations_run:
-                trace.new_iteration()
-        else:
-            trace = TraceRecorder()
+        if trace is None:
+            if self.trace_recorder is not None:
+                trace = self.trace_recorder
+                if self.iterations_run:
+                    trace.new_iteration()
+            else:
+                trace = TraceRecorder()
         fault_stats = None
         if self.fault_plan is not None or self.resilience is not None:
             fault_stats = FaultStats()
@@ -264,18 +275,49 @@ class JanusEngine:
             index: strategies[name]
             for index, name in self.block_strategies.items()
         }
+        return ctx, strategies, runner, fabric, fault_stats, trace
 
-        worker_procs = [
-            env.process(self._worker(ctx, rank, runner, forward_only))
-            for rank in range(self.workload.world_size)
-        ]
-        for strategy in strategies.values():
-            strategy.spawn_processes(ctx, forward_only)
-        collector_procs = [] if forward_only else [
-            proc
-            for strategy in strategies.values()
-            for proc in strategy.spawn_grad_collectors(ctx)
-        ]
+    def run_iteration(self, forward_only: bool = False) -> IterationResult:
+        """Simulate one iteration from a cold start; returns its result.
+
+        ``forward_only=True`` simulates an inference pass (§9: the same
+        communication design applies to serving): no backward sweep, no
+        gradient return traffic.
+        """
+        if self.check_memory:
+            self._check_memory()
+        self._jitter_rng = np.random.default_rng(self.jitter_seed)
+        ctx, strategies, runner, fabric, fault_stats, trace = self._prepare(
+            forward_only
+        )
+        env = ctx.env
+
+        if self.scheduler == "taskgraph":
+            worker_procs, collector_procs = self._spawn_graph(
+                ctx, strategies, runner, forward_only
+            )
+        else:
+            if self.features.grad_allreduce != "none":
+                raise ValueError(
+                    "grad_allreduce schedules require scheduler='taskgraph'"
+                )
+            if self.features.micro_batches > 1 and any(
+                s.micro_capable for s in strategies.values()
+            ):
+                raise ValueError(
+                    "micro-batched strategies require scheduler='taskgraph'"
+                )
+            worker_procs = [
+                env.process(self._worker(ctx, rank, runner, forward_only))
+                for rank in range(self.workload.world_size)
+            ]
+            for strategy in strategies.values():
+                strategy.spawn_processes(ctx, forward_only)
+            collector_procs = [] if forward_only else [
+                proc
+                for strategy in strategies.values()
+                for proc in strategy.spawn_grad_collectors(ctx)
+            ]
 
         def driver():
             ctx.iteration_start.succeed()
@@ -344,6 +386,66 @@ class JanusEngine:
     def run_inference(self) -> IterationResult:
         """Simulate one forward-only (serving) pass."""
         return self.run_iteration(forward_only=True)
+
+    # -- task-graph scheduler ----------------------------------------------------------
+
+    def _spawn_graph(self, ctx, strategies, runner, forward_only: bool):
+        """Spawn one simkit process per graph lane, in plan order (which
+        replicates the legacy spawn order)."""
+        plan = build_iteration_plan(self, ctx, strategies, runner,
+                                    forward_only)
+        observer = self._task_observer(ctx)
+        env = ctx.env
+        worker_procs, collector_procs = [], []
+        for kind, payload in plan.entries:
+            if kind == "lane":
+                proc = env.process(
+                    run_lane(plan.graph, payload, observer),
+                    name=payload.name, priority=payload.priority,
+                )
+                if payload.role == "worker":
+                    worker_procs.append(proc)
+                elif payload.role == "collector":
+                    collector_procs.append(proc)
+            elif kind == "legacy-services":
+                payload.spawn_processes(ctx, forward_only)
+            else:  # legacy-collectors
+                collector_procs.extend(payload.spawn_grad_collectors(ctx))
+        return worker_procs, collector_procs
+
+    def _task_observer(self, ctx):
+        """Per-task completion hook: ``task.*`` trace lane (for the trace
+        worker's tasks and the global service/collector tasks) plus
+        per-kind count/seconds counters.  Pure Python bookkeeping — never
+        changes simulated time."""
+        metrics = self.metrics
+        trace = ctx.trace
+        trace_worker = self.trace_worker
+
+        def observe(task, started: float, ended: float) -> None:
+            kind = task.kind.value
+            if metrics is not None:
+                metrics.inc("task.count", kind=kind)
+                metrics.inc("task.seconds", ended - started, kind=kind)
+            if task.worker is None or task.worker == trace_worker:
+                trace.record(
+                    f"task.{kind}", started, ended,
+                    worker=task.worker, block=task.block, detail=task.detail,
+                )
+
+        return observe
+
+    def build_graph(self, forward_only: bool = False):
+        """Build (without running) the iteration's task graph — the object
+        behind ``repro graph`` exports.  Uses a throwaway trace recorder so
+        the engine's shared recorder is not advanced."""
+        self._jitter_rng = np.random.default_rng(self.jitter_seed)
+        ctx, strategies, runner, _, _, _ = self._prepare(
+            forward_only, trace=TraceRecorder()
+        )
+        plan = build_iteration_plan(self, ctx, strategies, runner,
+                                    forward_only)
+        return plan.graph
 
     # -- setup helpers ----------------------------------------------------------------
 

@@ -5,7 +5,9 @@ Importing this package registers the built-in strategies:
 * ``expert-centric`` — bulk-synchronous All-to-All (Tutel baseline);
 * ``data-centric``   — Janus Task Queue expert pulls;
 * ``pipelined-ec``   — expert-centric with K-chunked All-to-All overlapped
-  with expert compute (Parm/FlowMoE-style pipeline scheduling).
+  with expert compute (Parm/FlowMoE-style pipeline scheduling);
+* ``microbatch-ec``  — expert-centric split into M interleaved micro-batch
+  pipelines (task-graph scheduler only).
 
 New paradigms subclass :class:`BlockStrategy` and register with
 ``@register_strategy``; the engine, the unified selector and the CLI pick
@@ -26,11 +28,15 @@ from .base import (
 from .expert_centric import ExpertCentricStrategy
 from .data_centric import DataCentricStrategy
 from .pipelined import PipelinedExpertCentricStrategy
+# microbatch-ec registers last: appending keeps every pre-existing
+# registration index (and thus spawn/memory-term order) unchanged.
+from .microbatch import MicroBatchExpertCentricStrategy
 
 __all__ = [
     "BlockStrategy",
     "DataCentricStrategy",
     "ExpertCentricStrategy",
+    "MicroBatchExpertCentricStrategy",
     "PipelinedExpertCentricStrategy",
     "get_strategy",
     "register_strategy",

@@ -49,6 +49,10 @@ class BlockStrategy(ABC):
     #: Whether the strategy's blocks are served by the Janus Task Queue
     #: (intra/inter-node schedulers, credits, caches).
     uses_task_queue: ClassVar[bool] = False
+    #: Whether the strategy can split its blocks into micro-batches under
+    #: the task-graph scheduler (implements ``micro_worker_tasks`` and
+    #: ``micro_service_lanes``).
+    micro_capable: ClassVar[bool] = False
 
     def __init__(self, engine: "JanusEngine", blocks: Tuple[int, ...]):
         self.engine = engine
@@ -72,6 +76,55 @@ class BlockStrategy(ABC):
         """Processes that must finish before the iteration ends (backward
         gradient plumbing); return the spawned process handles."""
         return []
+
+    # -- task-graph hooks ------------------------------------------------------
+
+    def worker_tasks(self, ctx: "IterationContext", rank: int, index: int,
+                     phase: str) -> List:
+        """Tasks a worker lane runs for one of this strategy's blocks.
+
+        The default wraps :meth:`run_block` in one composite task, so any
+        registered strategy works under the task-graph scheduler unchanged;
+        native strategies override this to expose their real task DAG.
+        """
+        from ..taskgraph import Task, TaskKind
+
+        return [Task(
+            f"{self.name}.{phase}.b{index}.w{rank}",
+            TaskKind.EXPERT_COMPUTE,
+            body=lambda: self.run_block(ctx, rank, index, phase),
+            worker=rank, block=index, phase=phase,
+            detail=f"{phase}:{self.name}",
+        )]
+
+    def service_lanes(self, ctx: "IterationContext", graph,
+                      forward_only: bool):
+        """Coordinator/scheduler lanes for the task-graph scheduler.
+
+        ``None`` (the default) makes the engine fall back to
+        :meth:`spawn_processes` at the same point in the spawn order."""
+        return None
+
+    def collector_lanes(self, ctx: "IterationContext", graph):
+        """Gradient-collector lanes; ``None`` falls back to
+        :meth:`spawn_grad_collectors`."""
+        return None
+
+    def micro_worker_tasks(self, ctx: "IterationContext", rank: int,
+                           index: int, phase: str, micro: int,
+                           micro_batches: int) -> List:
+        """Tasks micro-batch lane ``micro`` (of ``micro_batches``) runs for
+        one block.  Only meaningful when ``micro_capable`` is True."""
+        raise NotImplementedError(
+            f"{self.name!r} is not micro-batch capable"
+        )
+
+    def micro_service_lanes(self, ctx: "IterationContext", graph,
+                            forward_only: bool, micro_batches: int):
+        """Per-micro-batch coordinator lanes (micro-capable strategies)."""
+        raise NotImplementedError(
+            f"{self.name!r} is not micro-batch capable"
+        )
 
     # -- memory model ----------------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import List, Tuple
 from ...cluster import Device
 from ..inter_scheduler import InterNodeScheduler
 from ..intra_scheduler import IntraNodeScheduler
+from ..taskgraph import Task, TaskKind
 from .base import BlockStrategy, register_strategy
 
 __all__ = ["DataCentricStrategy"]
@@ -108,6 +109,58 @@ class DataCentricStrategy(BlockStrategy):
                 )
             else:
                 self._push_gradient(ctx, rank, index, expert)
+
+    # -- task-graph builders ---------------------------------------------------
+
+    def service_lanes(self, ctx, graph, forward_only: bool):
+        if not ctx.dc_block_indices:
+            return []
+        lanes = []
+        phases = ("fwd",) if forward_only else ("fwd", "bwd")
+        for rank in range(self.engine.workload.world_size):
+            # One scheduler per rank shared by both phases, exactly as in
+            # spawn_processes — its credit/cache state spans the iteration.
+            scheduler = IntraNodeScheduler(ctx, rank)
+            for phase in phases:
+                lane = graph.lane(
+                    f"dc.pull.w{rank}.{phase}", role="service", worker=rank,
+                )
+                lane.add(Task(
+                    f"dc.pull.w{rank}.{phase}", TaskKind.PULL,
+                    body=lambda s=scheduler, p=phase: s.pull_pipeline(p),
+                    worker=rank, phase=phase, detail="intra-pull",
+                ))
+                lanes.append(lane)
+        if ctx.features.hierarchical:
+            for machine in range(ctx.layout.num_machines):
+                inter = InterNodeScheduler(ctx, machine)
+                for nic, chain in enumerate(inter.fetch_pipelines()):
+                    lane = graph.lane(
+                        f"dc.fetch.m{machine}.{nic}", role="service",
+                    )
+                    lane.add(Task(
+                        f"dc.fetch.m{machine}.{nic}", TaskKind.PULL,
+                        body=lambda c=chain: c,
+                        detail=f"inter-fetch machine={machine}",
+                    ))
+                    lanes.append(lane)
+        return lanes
+
+    def collector_lanes(self, ctx, graph):
+        if not ctx.features.hierarchical or not ctx.dc_block_indices:
+            return []
+        lanes = []
+        for machine in range(ctx.layout.num_machines):
+            inter = InterNodeScheduler(ctx, machine)
+            for i, collector in enumerate(inter.grad_collectors()):
+                lane = graph.lane(f"dc.grad.m{machine}.{i}", role="collector")
+                lane.add(Task(
+                    f"dc.grad.m{machine}.{i}", TaskKind.PULL,
+                    body=lambda c=collector: c,
+                    detail=f"grad-collect machine={machine}",
+                ))
+                lanes.append(lane)
+        return lanes
 
     def _push_gradient(self, ctx, rank: int, index: int, expert: int):
         workload = self.engine.workload

@@ -29,6 +29,7 @@ from typing import Tuple
 from ...netsim import all_to_all
 from ...simkit import AllOf
 from ..memory_model import EC_A2A_SLACK
+from ..taskgraph import Task, TaskKind, gpu_claim
 from .base import BlockStrategy, register_strategy
 
 __all__ = ["PipelinedExpertCentricStrategy"]
@@ -148,6 +149,137 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
                 block=index, detail=f"{phase}-combine:{i}",
             )
         sync.combine_done.succeed()
+
+    # -- task-graph builders ---------------------------------------------------
+
+    def _chunk_compute_body(self, ctx, rank: int, index: int, phase: str,
+                            chunk: int):
+        """One chunk of :meth:`run_block`'s compute loop as a task body."""
+        engine = self.engine
+
+        def body():
+            workload = engine.workload
+            block = workload.blocks[index]
+            placement = ctx.placements[index]
+            gpu_flops = engine._rank_flops(rank)
+            mult = _BACKWARD if phase == "bwd" else 1.0
+            chunks = engine.features.ec_pipeline_chunks
+            received = sum(
+                int(block.routing[:, expert].sum())
+                for expert in placement.experts_of(rank)
+            )
+            overhead = (
+                engine.cluster.spec.gpu.kernel_overhead
+                * placement.experts_per_worker
+            )
+            seconds = engine._jittered(
+                (received / chunks * workload.expert_flops / gpu_flops
+                 + overhead) * mult
+            )
+            start = ctx.env.now
+            yield ctx.env.process(
+                ctx.fabric.compute(ctx.gpu_of[rank], seconds)
+            )
+            if rank == engine.trace_worker:
+                ctx.trace.record(
+                    "compute.expert", start, ctx.env.now,
+                    worker=rank, block=index,
+                    detail=f"{phase}:pec:{chunk}",
+                )
+
+        return body
+
+    def _chunk_a2a_body(self, ctx, index: int, phase: str, chunk: int,
+                        combine: bool):
+        engine = self.engine
+
+        def body():
+            matrix = self._chunk_matrix(ctx, index)
+            if combine:
+                matrix = matrix.T
+            start = ctx.env.now
+            yield all_to_all(
+                ctx.fabric, matrix,
+                hierarchical=engine.features.hierarchical_a2a,
+            )
+            side = "combine" if combine else "dispatch"
+            ctx.trace.record(
+                "comm.a2a", start, ctx.env.now,
+                block=index, detail=f"{phase}-{side}:{chunk}",
+            )
+
+        return body
+
+    def worker_tasks(self, ctx, rank: int, index: int, phase: str):
+        p = f"{self.name}.{phase}.b{index}"
+        chunks = self.engine.features.ec_pipeline_chunks
+        tasks = [Task(
+            f"{p}.w{rank}.arrive", TaskKind.GATE,
+            signals=(f"{p}.arrive.{rank}",),
+            worker=rank, block=index, phase=phase, traced=False,
+        )]
+        for chunk in range(chunks):
+            tasks.append(Task(
+                f"{p}.w{rank}.compute.{chunk}", TaskKind.EXPERT_COMPUTE,
+                waits=(f"{p}.dispatched.{chunk}",),
+                signals=(f"{p}.computed.{chunk}.{rank}",),
+                body=self._chunk_compute_body(ctx, rank, index, phase, chunk),
+                claims=gpu_claim(rank),
+                worker=rank, block=index, phase=phase,
+                detail=f"{phase}:pec:{chunk}",
+            ))
+        tasks.append(Task(
+            f"{p}.w{rank}.leave", TaskKind.GATE,
+            waits=(f"{p}.combined",),
+            worker=rank, block=index, phase=phase, traced=False,
+        ))
+        return tasks
+
+    def service_lanes(self, ctx, graph, forward_only: bool):
+        lanes = []
+        engine = self.engine
+        world = engine.workload.world_size
+        chunks = engine.features.ec_pipeline_chunks
+        phases = ("fwd",) if forward_only else ("fwd", "bwd")
+        for index in self.blocks:
+            for phase in phases:
+                p = f"{self.name}.{phase}.b{index}"
+                dispatcher = graph.lane(f"{p}.dispatcher", role="service")
+                for chunk in range(chunks):
+                    # Only the first chunk waits for the rendezvous; the
+                    # rest follow back-to-back in lane order.
+                    waits = (
+                        tuple(f"{p}.arrive.{r}" for r in range(world))
+                        if chunk == 0 else ()
+                    )
+                    dispatcher.add(Task(
+                        f"{p}.a2a-dispatch.{chunk}", TaskKind.A2A_CHUNK,
+                        waits=waits,
+                        signals=(f"{p}.dispatched.{chunk}",),
+                        body=self._chunk_a2a_body(
+                            ctx, index, phase, chunk, combine=False
+                        ),
+                        block=index, phase=phase,
+                        detail=f"{phase}-dispatch:{chunk}",
+                    ))
+                combiner = graph.lane(f"{p}.combiner", role="service")
+                for chunk in range(chunks):
+                    combiner.add(Task(
+                        f"{p}.a2a-combine.{chunk}", TaskKind.A2A_CHUNK,
+                        waits=tuple(
+                            f"{p}.computed.{chunk}.{r}" for r in range(world)
+                        ),
+                        signals=(
+                            (f"{p}.combined",) if chunk == chunks - 1 else ()
+                        ),
+                        body=self._chunk_a2a_body(
+                            ctx, index, phase, chunk, combine=True
+                        ),
+                        block=index, phase=phase,
+                        detail=f"{phase}-combine:{chunk}",
+                    ))
+                lanes.extend((dispatcher, combiner))
+        return lanes
 
     @classmethod
     def memory_terms(

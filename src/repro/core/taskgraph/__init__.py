@@ -1,0 +1,28 @@
+"""Explicit task-graph scheduling for the Janus engine.
+
+The iteration is expressed as a DAG of typed tasks (gate, dense/expert
+compute, All-to-All chunks, Task-Queue pulls, gradient all-reduce) grouped
+into lanes, each lane executed by one simkit process.  The four legacy
+paradigms are rebuilt as graph builders — bit-identical on simulated times
+and traffic — and the graph unlocks schedules the strategy layer could not
+express: pipeline-parallel micro-batching and backward all-reduce overlap.
+"""
+
+from .builders import SpawnPlan, build_iteration_plan, entry_label, gpu_claim
+from .executor import run_lane
+from .graph import GraphValidationError, Lane, TaskGraph
+from .task import ResourceClaim, Task, TaskKind
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "ResourceClaim",
+    "Lane",
+    "TaskGraph",
+    "GraphValidationError",
+    "SpawnPlan",
+    "build_iteration_plan",
+    "entry_label",
+    "gpu_claim",
+    "run_lane",
+]

@@ -1,0 +1,471 @@
+"""Build the per-iteration task graph and its process spawn plan.
+
+:func:`build_iteration_plan` turns one engine iteration into a
+:class:`~repro.core.taskgraph.graph.TaskGraph` plus an ordered spawn plan.
+The plan replicates the legacy engine's process creation order exactly —
+worker processes for ranks 0..W-1, then each strategy's service processes
+in strategy registration order, then gradient collectors — because that
+order fixes event ids and therefore the golden-pinned kernel counters.
+
+Strategies contribute through three hooks (see
+:class:`~repro.core.strategies.base.BlockStrategy`):
+
+* ``worker_tasks``    — the tasks a worker lane runs for one block,
+* ``service_lanes``   — coordinator/scheduler lanes (``None`` = fall back
+  to the legacy ``spawn_processes``),
+* ``collector_lanes`` — gradient-collector lanes (``None`` = legacy
+  ``spawn_grad_collectors``).
+
+On top of the rebuilt paradigms, this module owns the two schedules only
+the task graph can express: **micro-batched worker lanes** (``M`` lanes
+per rank whose block DAGs interleave, so one micro-batch's expert compute
+overlaps another's All-to-All across block boundaries) and the
+**backward-pass gradient all-reduce** (per-block dense-gradient all-reduce
+lanes scheduled into idle link time of the remaining backward sweep, at
+background dispatch priority).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ...netsim import all_reduce
+from .graph import Lane, TaskGraph
+from .task import ResourceClaim, Task, TaskKind
+
+__all__ = ["SpawnPlan", "build_iteration_plan"]
+
+_BACKWARD = 2.0
+
+
+@dataclass
+class SpawnPlan:
+    """The graph plus the ordered process-spawn entries.
+
+    Entries are ``("lane", Lane)`` for graph lanes and
+    ``("legacy-services" | "legacy-collectors", strategy)`` for strategies
+    that keep their hand-rolled processes.
+    """
+
+    graph: TaskGraph
+    entries: List[Tuple[str, object]] = field(default_factory=list)
+
+    def lanes(self, role=None) -> List[Lane]:
+        return [
+            payload
+            for kind, payload in self.entries
+            if kind == "lane" and (role is None or payload.role == role)
+        ]
+
+
+# -- labels ----------------------------------------------------------------
+
+
+def entry_label(phase: str, index: int, rank: int) -> str:
+    return f"entry.{phase}.b{index}.w{rank}"
+
+
+def _bdense_label(index: int, rank: int, micro=None) -> str:
+    label = f"grad-ready.b{index}.w{rank}"
+    return label if micro is None else f"{label}.mb{micro}"
+
+
+def _done_label(rank: int, micro=None) -> str:
+    label = f"worker-done.w{rank}"
+    return label if micro is None else f"{label}.mb{micro}"
+
+
+def gpu_claim(rank: int) -> Tuple[ResourceClaim, ...]:
+    """The per-GPU compute stream the fabric arbitrates (capacity 1)."""
+    return (ResourceClaim(f"gpu.{rank}.stream"),)
+
+
+# -- plan assembly ---------------------------------------------------------
+
+
+def build_iteration_plan(
+    engine, ctx, strategies, runner, forward_only: bool
+) -> SpawnPlan:
+    """Assemble the full iteration graph in legacy spawn order."""
+    graph = TaskGraph(ctx.env)
+    graph.bind("iteration_start", ctx.iteration_start)
+    graph.declare_inputs("iteration_start")
+    for (phase, index, rank), event in ctx.block_entry.items():
+        label = entry_label(phase, index, rank)
+        graph.bind(label, event)
+        # Block-entry gates are consumed inside composite pull pipelines
+        # (invisible to the structural view) or by nothing at all on
+        # All-to-All blocks; either way they leave the graph.
+        graph.declare_outputs(label)
+
+    features = engine.features
+    micro = (
+        features.micro_batches
+        if any(s.micro_capable for s in strategies.values())
+        else 1
+    )
+    allreduce = "none" if forward_only else features.grad_allreduce
+
+    plan = SpawnPlan(graph)
+    world = engine.workload.world_size
+    for rank in range(world):
+        if micro > 1:
+            for m in range(micro):
+                lane = graph.lane(
+                    f"worker.{rank}.mb{m}", role="worker", worker=rank
+                )
+                _build_micro_worker_lane(
+                    engine, ctx, lane, rank, m, micro, runner,
+                    forward_only, allreduce,
+                )
+                plan.entries.append(("lane", lane))
+        else:
+            lane = graph.lane(f"worker.{rank}", role="worker", worker=rank)
+            _build_worker_lane(
+                engine, ctx, lane, rank, runner, forward_only, allreduce
+            )
+            plan.entries.append(("lane", lane))
+
+    for strategy in strategies.values():
+        if micro > 1 and strategy.micro_capable:
+            lanes = strategy.micro_service_lanes(
+                ctx, graph, forward_only, micro
+            )
+        else:
+            lanes = strategy.service_lanes(ctx, graph, forward_only)
+        if lanes is None:
+            plan.entries.append(("legacy-services", strategy))
+        else:
+            plan.entries.extend(("lane", lane) for lane in lanes)
+
+    if not forward_only:
+        for strategy in strategies.values():
+            lanes = strategy.collector_lanes(ctx, graph)
+            if lanes is None:
+                plan.entries.append(("legacy-collectors", strategy))
+            else:
+                plan.entries.extend(("lane", lane) for lane in lanes)
+        if allreduce != "none":
+            plan.entries.extend(
+                ("lane", lane)
+                for lane in _build_allreduce_lanes(engine, ctx, graph, micro)
+            )
+    return plan
+
+
+# -- worker lanes ----------------------------------------------------------
+
+
+def _dense_body(engine, ctx, rank, gpu, block, mult, scale, record, detail,
+                rank_flops):
+    """Dense (attention + non-expert FFN) compute for one block.
+
+    ``mult`` is the backward factor, ``scale`` the 1/M micro-batch split;
+    both are powers of two in practice so the duration math stays
+    bit-identical to the legacy inline expression.  ``rank_flops`` is
+    hoisted to one :meth:`JanusEngine._rank_flops` call per lane — the
+    lookup chain dominates graph-build time when resolved per block.
+    """
+    index = block.index
+    base = (block.dense_flops + block.ffn_flops) / rank_flops
+
+    def body():
+        seconds = engine._jittered(mult * scale * base)
+        start = ctx.env.now
+        yield ctx.env.process(ctx.fabric.compute(gpu, seconds))
+        if record:
+            ctx.trace.record(
+                "compute.dense", start, ctx.env.now,
+                worker=rank, block=index, detail=detail,
+            )
+
+    return body
+
+
+def _mark_body(ctx, rank, index):
+    def body():
+        ctx.trace.mark(
+            "block_complete", ctx.env.now, worker=rank, block=index
+        )
+
+    return body
+
+
+def _build_worker_lane(
+    engine, ctx, lane, rank, runner, forward_only, allreduce
+):
+    """The straight (non-micro-batched) worker lane: mirrors the legacy
+    ``JanusEngine._worker`` generator task for task."""
+    workload = engine.workload
+    gpu = ctx.gpu_of[rank]
+    record = rank == engine.trace_worker
+    claims = gpu_claim(rank)
+    rank_flops = engine._rank_flops(rank)
+
+    lane.add(Task(
+        f"w{rank}.start", TaskKind.GATE, waits=("iteration_start",),
+        worker=rank, traced=False,
+    ))
+    for block in workload.blocks:
+        index = block.index
+        if block.is_moe:
+            lane.add(Task(
+                f"w{rank}.fwd.b{index}.entry", TaskKind.GATE,
+                signals=(entry_label("fwd", index, rank),),
+                worker=rank, block=index, phase="fwd", traced=False,
+            ))
+        lane.add(Task(
+            f"w{rank}.fwd.b{index}.dense", TaskKind.DENSE_COMPUTE,
+            body=_dense_body(
+                engine, ctx, rank, gpu, block, 1.0, 1.0, record, "fwd",
+                rank_flops,
+            ),
+            claims=claims, worker=rank, block=index, phase="fwd",
+            detail="fwd",
+        ))
+        if block.is_moe:
+            lane.add(*runner[index].worker_tasks(ctx, rank, index, "fwd"))
+        if record:
+            lane.add(Task(
+                f"w{rank}.fwd.b{index}.mark", TaskKind.GATE,
+                body=_mark_body(ctx, rank, index),
+                worker=rank, block=index, traced=False,
+            ))
+
+    if forward_only:
+        return
+
+    for block in reversed(workload.blocks):
+        index = block.index
+        if block.is_moe:
+            lane.add(Task(
+                f"w{rank}.bwd.b{index}.entry", TaskKind.GATE,
+                signals=(entry_label("bwd", index, rank),),
+                worker=rank, block=index, phase="bwd", traced=False,
+            ))
+            lane.add(*runner[index].worker_tasks(ctx, rank, index, "bwd"))
+        lane.add(Task(
+            f"w{rank}.bwd.b{index}.dense", TaskKind.DENSE_COMPUTE,
+            body=_dense_body(
+                engine, ctx, rank, gpu, block, _BACKWARD, 1.0, False, "bwd",
+                rank_flops,
+            ),
+            claims=claims, worker=rank, block=index, phase="bwd",
+            detail="bwd",
+        ))
+        if allreduce == "overlap":
+            lane.add(Task(
+                f"w{rank}.bwd.b{index}.grad-ready", TaskKind.GATE,
+                signals=(_bdense_label(index, rank),),
+                worker=rank, block=index, phase="bwd", traced=False,
+            ))
+    if allreduce == "serial":
+        lane.add(Task(
+            f"w{rank}.done", TaskKind.GATE, signals=(_done_label(rank),),
+            worker=rank, traced=False,
+        ))
+
+
+def _build_micro_worker_lane(
+    engine, ctx, lane, rank, m, micro, runner, forward_only, allreduce
+):
+    """One of the M micro-batch lanes of a rank.
+
+    Every lane carries 1/M of the dense flops and of each micro-capable
+    block's tokens; the shared per-GPU compute stream serializes the
+    compute while the per-micro-batch All-to-Alls overlap it.  Blocks
+    whose strategy is not micro-capable run at full batch on lane 0 with a
+    rendezvous/release barrier across the rank's lanes.
+    """
+    workload = engine.workload
+    gpu = ctx.gpu_of[rank]
+    record = rank == engine.trace_worker
+    claims = gpu_claim(rank)
+    rank_flops = engine._rank_flops(rank)
+    scale = 1.0 / micro
+    p = f"w{rank}.mb{m}"
+
+    lane.add(Task(
+        f"{p}.start", TaskKind.GATE, waits=("iteration_start",),
+        worker=rank, traced=False,
+    ))
+
+    def entry_task(block, phase):
+        if m != 0:
+            return
+        index = block.index
+        lane.add(Task(
+            f"{p}.{phase}.b{index}.entry", TaskKind.GATE,
+            signals=(entry_label(phase, index, rank),),
+            worker=rank, block=index, phase=phase, traced=False,
+        ))
+
+    def moe_tasks(block, phase):
+        index = block.index
+        strategy = runner[index]
+        if strategy.micro_capable:
+            lane.add(*strategy.micro_worker_tasks(
+                ctx, rank, index, phase, m, micro
+            ))
+            return
+        # Full-batch rendezvous: lane 0 waits for every sibling lane to
+        # reach the block, runs the block once, then releases them.  Lane 0
+        # rendezvouses with itself implicitly, so only siblings signal.
+        rv = f"rv.{phase}.b{index}.w{rank}"
+        if m != 0:
+            lane.add(Task(
+                f"{p}.{phase}.b{index}.rv", TaskKind.GATE,
+                signals=(f"{rv}.mb{m}",),
+                worker=rank, block=index, phase=phase, traced=False,
+            ))
+        if m == 0:
+            siblings = tuple(
+                f"{rv}.mb{i}" for i in range(micro) if i != 0
+            )
+            if siblings:
+                lane.add(Task(
+                    f"{p}.{phase}.b{index}.gather", TaskKind.GATE,
+                    waits=siblings, worker=rank, block=index, phase=phase,
+                    traced=False,
+                ))
+            lane.add(*strategy.worker_tasks(ctx, rank, index, phase))
+            lane.add(Task(
+                f"{p}.{phase}.b{index}.release", TaskKind.GATE,
+                signals=(f"{rv}.done",),
+                worker=rank, block=index, phase=phase, traced=False,
+            ))
+        else:
+            lane.add(Task(
+                f"{p}.{phase}.b{index}.released", TaskKind.GATE,
+                waits=(f"{rv}.done",),
+                worker=rank, block=index, phase=phase, traced=False,
+            ))
+
+    for block in workload.blocks:
+        index = block.index
+        if block.is_moe:
+            entry_task(block, "fwd")
+        lane.add(Task(
+            f"{p}.fwd.b{index}.dense", TaskKind.DENSE_COMPUTE,
+            body=_dense_body(
+                engine, ctx, rank, gpu, block, 1.0, scale, record,
+                f"fwd:mb{m}", rank_flops,
+            ),
+            claims=claims, worker=rank, block=index, phase="fwd",
+            detail=f"fwd:mb{m}",
+        ))
+        if block.is_moe:
+            moe_tasks(block, "fwd")
+        if record and m == 0:
+            lane.add(Task(
+                f"{p}.fwd.b{index}.mark", TaskKind.GATE,
+                body=_mark_body(ctx, rank, index),
+                worker=rank, block=index, traced=False,
+            ))
+
+    if forward_only:
+        return
+
+    for block in reversed(workload.blocks):
+        index = block.index
+        if block.is_moe:
+            entry_task(block, "bwd")
+            moe_tasks(block, "bwd")
+        lane.add(Task(
+            f"{p}.bwd.b{index}.dense", TaskKind.DENSE_COMPUTE,
+            body=_dense_body(
+                engine, ctx, rank, gpu, block, _BACKWARD, scale, False,
+                f"bwd:mb{m}", rank_flops,
+            ),
+            claims=claims, worker=rank, block=index, phase="bwd",
+            detail=f"bwd:mb{m}",
+        ))
+        if allreduce == "overlap":
+            lane.add(Task(
+                f"{p}.bwd.b{index}.grad-ready", TaskKind.GATE,
+                signals=(_bdense_label(index, rank, m),),
+                worker=rank, block=index, phase="bwd", traced=False,
+            ))
+    if allreduce == "serial":
+        lane.add(Task(
+            f"{p}.done", TaskKind.GATE, signals=(_done_label(rank, m),),
+            worker=rank, traced=False,
+        ))
+
+
+# -- gradient all-reduce lanes ---------------------------------------------
+
+
+def _allreduce_body(engine, ctx, index, nbytes, detail):
+    def body():
+        start = ctx.env.now
+        yield all_reduce(
+            ctx.fabric, nbytes,
+            hierarchical=engine.features.hierarchical_a2a,
+        )
+        ctx.trace.record(
+            "comm.allreduce", start, ctx.env.now, block=index, detail=detail,
+        )
+
+    return body
+
+
+def _build_allreduce_lanes(engine, ctx, graph, micro) -> List[Lane]:
+    """Dense-gradient all-reduce of every block's non-expert parameters.
+
+    ``serial`` runs one lane after the whole backward sweep — the classic
+    unoverlapped baseline.  ``overlap`` gives each block its own lane that
+    fires as soon as every worker lane finished that block's backward
+    dense compute, so the all-reduce rides the idle link time of the
+    remaining (earlier-block) backward work.  Overlap lanes run at simkit
+    dispatch priority 2: they only start once same-instant foreground work
+    has been scheduled.
+    """
+    mode = engine.features.grad_allreduce
+    workload = engine.workload
+    config = workload.config
+    world = workload.world_size
+    micros = range(micro) if micro > 1 else (None,)
+    lanes: List[Lane] = []
+    if mode == "serial":
+        lane = graph.lane("allreduce.serial", role="collector")
+        lane.add(Task(
+            "allreduce.barrier", TaskKind.GATE,
+            waits=tuple(
+                _done_label(rank, m) for rank in range(world) for m in micros
+            ),
+            traced=False,
+        ))
+        for block in reversed(workload.blocks):
+            index = block.index
+            lane.add(Task(
+                f"allreduce.b{index}", TaskKind.GRAD_ALLREDUCE,
+                body=_allreduce_body(
+                    engine, ctx, index,
+                    config.dense_param_bytes(index), "serial",
+                ),
+                block=index, phase="bwd", detail="serial",
+            ))
+        lanes.append(lane)
+        return lanes
+    for block in reversed(workload.blocks):
+        index = block.index
+        lane = graph.lane(
+            f"allreduce.b{index}", role="collector", priority=2
+        )
+        lane.add(Task(
+            f"allreduce.b{index}", TaskKind.GRAD_ALLREDUCE,
+            waits=tuple(
+                _bdense_label(index, rank, m)
+                for rank in range(world)
+                for m in micros
+            ),
+            body=_allreduce_body(
+                engine, ctx, index, config.dense_param_bytes(index),
+                "overlap",
+            ),
+            block=index, phase="bwd", detail="overlap", priority=2,
+        ))
+        lanes.append(lane)
+    return lanes

@@ -1,0 +1,48 @@
+"""Run task-graph lanes on the simkit kernel.
+
+One lane = one simkit process.  The runner is written for *bit-exact*
+equivalence with the hand-rolled strategy processes it replaces, so it must
+never create events or processes the legacy code would not have created:
+
+* a task with a single wait yields that event **directly** (no wrapper),
+* a task with several waits builds the :class:`AllOf` lazily, at the moment
+  the lane reaches the task — exactly where the legacy coordinators built
+  theirs,
+* generator bodies are ``yield from``-ed inline (no sub-process),
+* signal events succeed after the body, in declaration order.
+
+The optional ``observer`` is called after each traced body with the task
+and its start/end sim-times; it is pure bookkeeping (spans, counters) and
+must never touch the simulation clock.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+
+from ...simkit import AllOf
+from .graph import Lane, TaskGraph
+
+__all__ = ["run_lane"]
+
+
+def run_lane(graph: TaskGraph, lane: Lane, observer=None):
+    """Generator executing ``lane``'s tasks in order (one simkit process)."""
+    env = graph.env
+    event_of = graph.event
+    for task in lane.tasks:
+        waits = task.waits
+        if waits:
+            if len(waits) == 1:
+                yield event_of(waits[0])
+            else:
+                yield AllOf(env, [event_of(label) for label in waits])
+        if task.body is not None:
+            started = env.now
+            outcome = task.body()
+            if isinstance(outcome, GeneratorType):
+                yield from outcome
+            if observer is not None and task.traced:
+                observer(task, started, env.now)
+        for label in task.signals:
+            event_of(label).succeed()

@@ -20,12 +20,14 @@ the paper:
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..cluster import Cluster
 from ..config import ModelConfig
+from ..models.flops import expert_flops_per_token
 from .context import JanusFeatures
 from .engine import JanusEngine
 from .paradigm import Paradigm
@@ -35,7 +37,9 @@ from .workload import IterationWorkload, build_workload
 __all__ = [
     "paradigm_map",
     "strategy_map",
+    "auto_schedule_map",
     "unified_engine",
+    "auto_engine",
     "expert_centric_engine",
     "data_centric_engine",
     "pipelined_expert_centric_engine",
@@ -82,6 +86,65 @@ def strategy_map(
     return mapping
 
 
+def auto_schedule_map(
+    config: ModelConfig,
+    cluster: Cluster,
+    threshold: float = 1.0,
+    micro_batches: int = 4,
+) -> Dict[int, str]:
+    """Per-block schedule selection extending Eq. 1 with the micro-batch
+    pipelining test (task-graph scheduler).
+
+    Blocks with R > ``threshold`` still run data-centric — pipelining
+    cannot beat not moving the tokens at all.  For the low-R blocks the
+    selector estimates one phase's All-to-All time (the Eq. 1 traffic over
+    the machine's aggregate NIC bandwidth) and expert-compute time, and
+    picks ``microbatch-ec`` when the overlap win —
+    ``min(comm, compute) * (1 - 1/M)`` — exceeds the pipelining cost of
+    ``(M-1)`` extra kernel-launch sweeps; otherwise the plain synchronous
+    ``expert-centric`` block is kept.
+    """
+    from .paradigm import comm_expert_centric, gain_ratio
+
+    if micro_batches <= 0:
+        raise ValueError("micro_batches must be positive")
+    mapping: Dict[int, str] = {}
+    spec = cluster.spec
+    n = cluster.num_machines
+    m = cluster.gpus_per_machine
+    world = n * m
+    gpu_flops = spec.gpu.effective_flops(config.hidden_dim)
+    eflops = expert_flops_per_token(config.hidden_dim, config.ffn_mult)
+    for index in config.moe_block_indices:
+        experts_per_worker = config.experts_per_worker(index, world)
+        ratio = gain_ratio(
+            config.batch_size, config.seq_len, config.top_k,
+            n, config.hidden_dim, experts_per_worker,
+        )
+        if ratio > threshold:
+            mapping[index] = "data-centric"
+            continue
+        comm_s = comm_expert_centric(
+            config.hidden_dim, config.tokens_per_worker, m, n,
+            config.dtype_bytes,
+        ) / (spec.num_nics * spec.nic.bandwidth)
+        compute_s = (
+            config.tokens_per_worker * eflops / gpu_flops
+            + spec.gpu.kernel_overhead * experts_per_worker
+        )
+        overlap_win = min(comm_s, compute_s) * (1.0 - 1.0 / micro_batches)
+        pipeline_cost = (
+            (micro_batches - 1)
+            * spec.gpu.kernel_overhead
+            * experts_per_worker
+        )
+        mapping[index] = (
+            "microbatch-ec" if overlap_win > pipeline_cost
+            else "expert-centric"
+        )
+    return mapping
+
+
 def paradigm_map(
     config: ModelConfig, cluster: Cluster, threshold: float = 1.0
 ) -> Dict[int, Paradigm]:
@@ -122,6 +185,7 @@ def unified_engine(
     degradation=None,
     metrics=None,
     trace=None,
+    scheduler: str = "taskgraph",
 ) -> JanusEngine:
     """Full Janus: per-block strategy by R (see :func:`strategy_map`)."""
     return JanusEngine(
@@ -138,6 +202,48 @@ def unified_engine(
         degradation=degradation,
         metrics=metrics,
         trace=trace,
+        scheduler=scheduler,
+    )
+
+
+def auto_engine(
+    config: ModelConfig,
+    cluster: Cluster,
+    features: Optional[JanusFeatures] = None,
+    workload: Optional[IterationWorkload] = None,
+    imbalance: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    check_memory: bool = True,
+    threshold: float = 1.0,
+    fault_plan=None,
+    resilience=None,
+    degradation=None,
+    metrics=None,
+    trace=None,
+    scheduler: str = "taskgraph",
+) -> JanusEngine:
+    """Schedule-aware unified Janus: per-block choice among data-centric,
+    micro-batched and plain expert-centric (see :func:`auto_schedule_map`),
+    with the backward dense-gradient all-reduce overlapped by default."""
+    if features is None:
+        features = JanusFeatures()
+    if features.grad_allreduce == "none":
+        features = dataclasses.replace(features, grad_allreduce="overlap")
+    return JanusEngine(
+        cluster,
+        _workload(config, cluster, workload, imbalance, rng),
+        auto_schedule_map(
+            config, cluster, threshold=threshold,
+            micro_batches=features.micro_batches,
+        ),
+        features=features,
+        check_memory=check_memory,
+        fault_plan=fault_plan,
+        resilience=resilience,
+        degradation=degradation,
+        metrics=metrics,
+        trace=trace,
+        scheduler=scheduler,
     )
 
 
@@ -155,6 +261,7 @@ def strategy_engine(
     degradation=None,
     metrics=None,
     trace=None,
+    scheduler: str = "taskgraph",
 ) -> JanusEngine:
     """Every MoE block under one registered block strategy."""
     name = resolve_strategy_name(strategy)
@@ -169,6 +276,7 @@ def strategy_engine(
         degradation=degradation,
         metrics=metrics,
         trace=trace,
+        scheduler=scheduler,
     )
 
 
@@ -195,8 +303,9 @@ def pipelined_expert_centric_engine(
 
 def engine_modes() -> tuple:
     """Mode names accepted by :func:`engine_for` (and the CLI): every
-    registered block strategy plus the R-driven ``"unified"`` selector."""
-    return tuple(strategy_names()) + ("unified",)
+    registered block strategy plus the R-driven ``"unified"`` selector and
+    the schedule-aware ``"auto"`` selector."""
+    return tuple(strategy_names()) + ("unified", "auto")
 
 
 def engine_for(
@@ -208,6 +317,8 @@ def engine_for(
     """Engine factory by mode name (see :func:`engine_modes`)."""
     if mode == "unified":
         return unified_engine(config, cluster, **kwargs)
+    if mode == "auto":
+        return auto_engine(config, cluster, **kwargs)
     if mode in strategy_names():
         return strategy_engine(mode, config, cluster, **kwargs)
     raise ValueError(

@@ -17,7 +17,7 @@ touches the simulation clock.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from .registry import MetricsRegistry
 
@@ -25,6 +25,7 @@ __all__ = [
     "overlap_efficiency",
     "comm_busy_time",
     "compute_busy_time",
+    "task_kind_breakdown",
     "collect_iteration_metrics",
 ]
 
@@ -57,6 +58,27 @@ def overlap_efficiency(trace, iteration: Optional[int] = None) -> float:
     # Interval-union arithmetic accumulates float noise; keep the KPI in
     # its defined [0, 1] range.
     return min(max((comm + compute - either) / bound, 0.0), 1.0)
+
+
+def task_kind_breakdown(
+    registry: MetricsRegistry,
+) -> Dict[str, Dict[str, float]]:
+    """Per-task-kind execution totals from the task-graph scheduler.
+
+    The engine's task observer counts every body-bearing task it retires
+    into ``task.count``/``task.seconds`` (labelled by kind); this folds
+    both counters into ``kind -> {"count", "seconds"}``, sorted by kind.
+    Empty when the run used the legacy scheduler or no registry."""
+    breakdown: Dict[str, Dict[str, float]] = {}
+    for metric, field in (("task.count", "count"),
+                          ("task.seconds", "seconds")):
+        for key, value in registry.series(metric).items():
+            kind = str(dict(key).get("kind"))
+            entry = breakdown.setdefault(
+                kind, {"count": 0.0, "seconds": 0.0}
+            )
+            entry[field] = value
+    return dict(sorted(breakdown.items()))
 
 
 def collect_iteration_metrics(

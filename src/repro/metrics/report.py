@@ -11,7 +11,12 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
-from .collect import comm_busy_time, compute_busy_time, overlap_efficiency
+from .collect import (
+    comm_busy_time,
+    compute_busy_time,
+    overlap_efficiency,
+    task_kind_breakdown,
+)
 from .registry import MetricsRegistry
 
 __all__ = ["SCHEMA", "iteration_summary", "build_run_report", "write_run_report"]
@@ -67,6 +72,9 @@ def build_run_report(
     }
     if registry is not None:
         report["metrics"] = registry.as_dict()
+        tasks = task_kind_breakdown(registry)
+        if tasks:
+            report["tasks"] = tasks
     return report
 
 

@@ -8,7 +8,6 @@ while combine weights stay in the autograd graph so the gate learns.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -69,20 +68,6 @@ class GateDecision:
         if self._plan is None:
             self._plan = DispatchPlan(self.expert_indices, self.num_experts)
         return self._plan
-
-    def slots_for_expert(self, expert: int):
-        """(token_ids, slot_ids) routed to ``expert``.
-
-        .. deprecated:: use ``dispatch_plan().segment(expert)``; the
-           per-expert scan is now served from the sorted layout.
-        """
-        warnings.warn(
-            "GateDecision.slots_for_expert is deprecated; use "
-            "dispatch_plan().segment(expert)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.dispatch_plan().segment(expert)
 
 
 class TopKGate(Module):

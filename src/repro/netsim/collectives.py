@@ -24,7 +24,7 @@ from ..cluster import Device, LinkId
 from ..simkit import AllOf, Event
 from .fabric import Fabric
 
-__all__ = ["all_to_all", "all_to_all_proc", "uniform_matrix"]
+__all__ = ["all_reduce", "all_to_all", "all_to_all_proc", "uniform_matrix"]
 
 
 def uniform_matrix(world_size: int, bytes_per_pair: float) -> np.ndarray:
@@ -128,6 +128,79 @@ def all_to_all(
                     tag=("a2a-flat", src_rank, dst_rank),
                 )
                 done_events.append(flow.done)
+
+    return AllOf(fabric.env, done_events)
+
+
+def all_reduce(
+    fabric: Fabric,
+    bytes_per_rank: float,
+    hierarchical: bool = True,
+) -> Event:
+    """Start a ring all-reduce of ``bytes_per_rank`` per participant.
+
+    Models the dense-gradient all-reduce of data parallelism with the
+    standard ring cost: each rank exchanges ``2*(N-1)/N`` of its payload
+    with its ring neighbours (reduce-scatter + all-gather).
+
+    ``hierarchical=True`` (default) is the NCCL-style two-level ring:
+    a local NVLink ring inside every machine (``2*(g-1)/g`` of the payload
+    per adjacent GPU pair) plus one inter-machine ring over the NICs
+    (``2*(n-1)/n`` of the payload, striped evenly across the NICs the way
+    the hierarchical All-to-All stripes).  ``hierarchical=False`` runs one
+    flat ring over the global rank order, so cross-machine hops carry the
+    full ``2*(W-1)/W`` payload on a single NIC each.
+    """
+    if bytes_per_rank < 0:
+        raise ValueError("bytes_per_rank must be non-negative")
+    cluster = fabric.cluster
+    world = cluster.world_size
+    done_events: List[Event] = []
+    if bytes_per_rank == 0 or world <= 1:
+        return AllOf(fabric.env, done_events)
+
+    if hierarchical:
+        g = cluster.gpus_per_machine
+        if g > 1:
+            local_bytes = 2.0 * (g - 1) / g * bytes_per_rank
+            for machine in range(cluster.num_machines):
+                for src_local in range(g):
+                    flow = fabric.transfer(
+                        Device.gpu(machine, src_local),
+                        Device.gpu(machine, (src_local + 1) % g),
+                        local_bytes,
+                        tag=("ar-intra", machine, src_local),
+                    )
+                    done_events.append(flow.done)
+        n = cluster.num_machines
+        if n > 1:
+            inter_bytes = 2.0 * (n - 1) / n * bytes_per_rank
+            num_nics = cluster.spec.num_nics
+            per_nic = inter_bytes / num_nics
+            for machine in range(n):
+                dst_machine = (machine + 1) % n
+                for nic in range(num_nics):
+                    path = (
+                        LinkId("nic", machine, nic, "out"),
+                        LinkId("nic", dst_machine, nic, "in"),
+                    )
+                    flow = fabric.network.transfer(
+                        path,
+                        per_nic,
+                        latency=fabric.path_latency(path),
+                        tag=("ar-inter", machine, dst_machine, nic),
+                    )
+                    done_events.append(flow.done)
+    else:
+        ring_bytes = 2.0 * (world - 1) / world * bytes_per_rank
+        for rank in range(world):
+            flow = fabric.transfer(
+                cluster.gpu_device(rank),
+                cluster.gpu_device((rank + 1) % world),
+                ring_bytes,
+                tag=("ar-flat", rank),
+            )
+            done_events.append(flow.done)
 
     return AllOf(fabric.env, done_events)
 

@@ -172,11 +172,13 @@ class Initialize(Event):
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process"):
+    def __init__(
+        self, env: "Environment", process: "Process", priority: int = 1
+    ):
         super().__init__(env)
         self._value = None
         self.callbacks.append(process._resume)
-        env._schedule(self)
+        env._schedule(self, priority=priority)
 
 
 class Process(Event):
@@ -191,6 +193,7 @@ class Process(Event):
         generator: Generator,
         name: Optional[str] = None,
         daemon: bool = False,
+        priority: int = 1,
     ):
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
@@ -203,7 +206,11 @@ class Process(Event):
         self.daemon = daemon
         env.processes_started += 1
         env._alive.add(self)
-        Initialize(env, self)
+        # ``priority`` orders the process's first dispatch among same-time
+        # events: priority > 1 starts only after all normal-priority work
+        # scheduled for the current instant (background lanes, e.g. the
+        # overlapped gradient all-reduce of the task-graph scheduler).
+        Initialize(env, self, priority=priority)
 
     @property
     def is_alive(self) -> bool:
@@ -385,8 +392,11 @@ class Environment:
         generator: Generator,
         name: Optional[str] = None,
         daemon: bool = False,
+        priority: int = 1,
     ) -> Process:
-        return Process(self, generator, name=name, daemon=daemon)
+        return Process(
+            self, generator, name=name, daemon=daemon, priority=priority
+        )
 
     def blocked_processes(self) -> List[Process]:
         """Non-daemon processes that are alive (started, not finished)."""

@@ -165,9 +165,12 @@ class TestObservabilityCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "Iter" in out  # summary table header
+        assert "task-graph breakdown" in out
+        assert "expert-compute" in out
         report = json.loads(out_path.read_text())
         assert len(report["iterations"]) == 2
         assert report["run"]["iterations"] == 2
+        assert report["tasks"]["expert-compute"]["count"] > 0
 
     def test_report_command_stdout_mode(self, capsys):
         assert main([
@@ -185,3 +188,37 @@ class TestObservabilityCommands:
         ]) == 0
         trace = json.loads(trace_path.read_text())
         assert trace["traceEvents"]
+
+
+class TestGraphCommand:
+    SMALL = ["--model", "moe-gpt", "--experts", "16", "--machines", "2",
+             "--batch-size", "8"]
+
+    def test_graph_validates_and_summarizes(self, capsys):
+        assert main(["graph", *self.SMALL, "--paradigm", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "task graph OK" in out
+        assert "expert-compute" in out
+
+    def test_graph_json_to_stdout_is_pipe_clean(self, capsys):
+        import json
+
+        assert main([
+            "graph", *self.SMALL, "--paradigm", "microbatch-ec", "--json", "-",
+        ]) == 0
+        captured = capsys.readouterr()
+        # The export owns stdout; the human summary moves to stderr.
+        exported = json.loads(captured.out)
+        assert exported["num_tasks"] > 0
+        assert "task graph OK" in captured.err
+
+    def test_graph_dot_to_file_keeps_summary_on_stdout(self, tmp_path,
+                                                       capsys):
+        dot_path = tmp_path / "iter.dot"
+        assert main([
+            "graph", *self.SMALL, "--dot", str(dot_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "task graph OK" in out
+        assert f"written to {dot_path}" in out
+        assert dot_path.read_text().startswith("digraph taskgraph")

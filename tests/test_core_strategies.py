@@ -459,19 +459,20 @@ class TestContextStrategyBlocks:
             cluster, workload,
             {1: "expert-centric", 3: "data-centric", 5: "pipelined-ec"},
         )
-        # Run via a captured context: grab it from the trace-producing run.
+        # Run via a captured context: grab it from the per-iteration
+        # setup hook (invoked under both schedulers).
         captured = {}
-        original = DataCentricStrategy.spawn_processes
+        original = DataCentricStrategy.setup
 
         def capture(self, ctx, forward_only):
             captured["ctx"] = ctx
             return original(self, ctx, forward_only)
 
-        DataCentricStrategy.spawn_processes = capture
+        DataCentricStrategy.setup = capture
         try:
             engine.run_iteration()
         finally:
-            DataCentricStrategy.spawn_processes = original
+            DataCentricStrategy.setup = original
         ctx = captured["ctx"]
         assert ctx.blocks_of("expert-centric") == (1,)
         assert ctx.blocks_of("data-centric") == (3,)

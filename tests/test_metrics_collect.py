@@ -11,6 +11,7 @@ from repro.metrics import (
     collect_iteration_metrics,
     iteration_summary,
     overlap_efficiency,
+    task_kind_breakdown,
     write_run_report,
 )
 from repro.metrics.collect import _link_label
@@ -110,6 +111,36 @@ class TestFaultMetrics:
         summary = iteration_summary(result)
         assert summary["faults"]["dropped_messages"] > 0
         assert summary["faults"]["retries"] == result.fault_stats.retries
+
+
+class TestTaskKindBreakdown:
+    def test_folds_count_and_seconds_by_kind_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("task.count", 3.0, kind="gate")
+        registry.inc("task.seconds", 0.5, kind="gate")
+        registry.inc("task.count", 1.0, kind="a2a-chunk")
+        assert task_kind_breakdown(registry) == {
+            "a2a-chunk": {"count": 1.0, "seconds": 0.0},
+            "gate": {"count": 3.0, "seconds": 0.5},
+        }
+
+    def test_empty_registry_gives_empty_breakdown(self):
+        registry = MetricsRegistry()
+        assert task_kind_breakdown(registry) == {}
+        report = build_run_report([], registry)
+        assert "tasks" not in report
+
+    def test_taskgraph_run_reports_task_section(self):
+        registry = MetricsRegistry()
+        engine = engine_for(
+            "expert-centric", small_config(), small_cluster(),
+            rng=np.random.default_rng(0), imbalance=0.3, metrics=registry,
+        )
+        report = build_run_report([engine.run_iteration()], registry)
+        tasks = report["tasks"]
+        assert tasks["expert-compute"]["count"] > 0
+        assert tasks["expert-compute"]["seconds"] > 0
+        assert all(entry["count"] > 0 for entry in tasks.values())
 
 
 class TestRunReportIO:

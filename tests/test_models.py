@@ -94,12 +94,11 @@ class TestGate:
         assert hist.sum() == 40  # 20 tokens x k=2 slots
         assert hist.shape == (4,)
 
-    def test_slots_for_expert_consistent(self):
+    def test_dispatch_plan_segments_consistent(self):
         gate = TopKGate(8, 4, 2, rng=RNG)
         decision = gate(Tensor(RNG.standard_normal((15, 8))))
-        total = sum(
-            decision.slots_for_expert(e)[0].size for e in range(4)
-        )
+        plan = decision.dispatch_plan()
+        total = sum(plan.segment(e)[0].size for e in range(4))
         assert total == 30
 
     def test_aux_loss_is_scalar_and_at_least_one(self):

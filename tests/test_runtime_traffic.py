@@ -228,8 +228,9 @@ class TestExpertCentricTraffic:
         placement = executor.placement
         kept = 0
         for rank, decision in enumerate(decisions):
+            plan = decision.dispatch_plan()
             for expert in placement.experts_of(rank):
-                kept += decision.slots_for_expert(expert)[0].size
+                kept += plan.segment(expert)[0].size
         expected = (total_slots - kept) * executor.token_bytes
         assert dispatch == pytest.approx(expected)
 
