@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test lint bench bench-check bench-write bench-runtime \
 	bench-runtime-check bench-runtime-write bench-schedules \
-	bench-schedules-check bench-schedules-write figs profile \
+	bench-schedules-check bench-schedules-write bench-control \
+	bench-control-check bench-control-write figs profile \
 	baseline baseline-write coverage chaos reports examples clean
 
 install:
@@ -52,6 +53,19 @@ bench-schedules-check:
 
 bench-schedules-write:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite schedules --write
+
+# Adaptive-control benchmark (drifting workload, controller vs every
+# static paradigm).  The check gates on calibration-rescaled wall medians
+# AND the structural control win — adaptive must beat every static in
+# simulated time; snapshot lives in benchmarks/BENCH_control.json.
+bench-control:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite control
+
+bench-control-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite control --quick --check
+
+bench-control-write:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite control --write
 
 # cProfile the hottest Fig. 14 config (top 25 by cumulative time).
 profile:

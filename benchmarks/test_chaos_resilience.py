@@ -18,9 +18,17 @@ from engine_cache import write_report
 from repro.analysis import format_table
 from repro.cluster import Cluster
 from repro.config import moe_gpt
+from repro.control import ControlConfig, Controller, ControlPolicy
 from repro.core import build_workload, engine_for
-from repro.faults import FaultPlan, LinkFault, MessageLoss, ResilienceConfig
+from repro.faults import (
+    DegradationPolicy,
+    FaultPlan,
+    LinkFault,
+    MessageLoss,
+    ResilienceConfig,
+)
 from repro.trace import render_timeline
+from repro.workloads import DriftSpec
 
 LOSS_RATES = (0.0, 0.05, 0.10, 0.20)
 MODES = ("expert-centric", "data-centric", "unified")
@@ -145,3 +153,74 @@ def test_chaos_resilience(benchmark):
     assert rerun.seconds == stress.seconds
     assert rerun.fault_stats.dropped_messages == stress_stats.dropped_messages
     assert rerun.fault_stats.retries == stress_stats.retries
+
+
+# -- combined fault + drift: degrade under fire, recover on probation --------
+
+RECOVER_AFTER_CLEAN = 2
+FAULTED_ITERATIONS = 2
+CLEAN_ITERATIONS = 3
+
+
+def run_fault_drift_recovery():
+    """Heavy pull loss on a drifting workload, then the fault plan ends.
+
+    The controller must degrade the pull-based block to expert-centric
+    while the plan rages, keep counting clean iterations once it ends, and
+    return the block to data-centric on probation — all while the drift
+    process keeps reshuffling expert popularity underneath.
+    """
+    controller = Controller(
+        policy=ControlPolicy(
+            config=ControlConfig(adapt_load=False, adapt_replicas=False),
+            degradation=DegradationPolicy(
+                recover_after_clean=RECOVER_AFTER_CLEAN
+            ),
+        ),
+        drift=DriftSpec(kind="flip", skew=1.2, period=2, seed=SEED),
+    )
+    engine = engine_for(
+        "data-centric", _CONFIG, _CLUSTER,
+        fault_plan=loss_plan(STRESS_RATE),
+        resilience=ResilienceConfig(),
+        controller=controller,
+    )
+    faulted = engine.run(FAULTED_ITERATIONS)
+    engine.fault_plan = None            # the outage heals
+    clean = engine.run(CLEAN_ITERATIONS)
+    return controller, faulted, clean
+
+
+def test_chaos_fault_drift_recovery(benchmark):
+    controller, faulted, clean = benchmark.pedantic(
+        run_fault_drift_recovery, rounds=1, iterations=1
+    )
+
+    # Under 50% pull loss the block degraded to the All-to-All fallback
+    # (recorded on the iteration whose fallbacks triggered it).
+    assert faulted[0].fault_stats.stale_fallbacks > 0
+    assert faulted[0].fault_stats.degraded_blocks == {10: "expert-centric"}
+    assert faulted[1].strategies[10] == "expert-centric"
+
+    causes = [
+        cause
+        for decision in controller.decisions
+        for cause in decision.causes.values()
+    ]
+    assert "fault" in causes
+    assert "recover" in causes
+
+    # Degraded expert-centric issues no pulls, so every post-outage
+    # iteration is clean; the trial return lands as soon as the clean
+    # streak reaches the target — within the probation window, not later.
+    recovered_at = next(
+        index
+        for index, decision in enumerate(controller.decisions)
+        if "recover" in decision.causes.values()
+    )
+    assert recovered_at < FAULTED_ITERATIONS + RECOVER_AFTER_CLEAN
+    assert clean[-1].strategies[10] == "data-centric"
+    assert clean[-1].fault_stats.stale_fallbacks == 0
+    # The return to data-centric survived: the block is healthy again, on
+    # probation rather than ratcheted forever.
+    assert controller.policy.state_of(10).mode in ("probation", "normal")

@@ -36,6 +36,18 @@ from .schedules import (
     run_schedules_suite,
     time_schedule_config,
 )
+from .control import (
+    CONTROL_FULL_CONFIGS,
+    CONTROL_QUICK_CONFIGS,
+    CONTROL_SCHEMA,
+    DEFAULT_CONTROL_SNAPSHOT_PATH,
+    ControlBenchConfig,
+    check_control_snapshot,
+    check_control_wins,
+    format_control_suite,
+    run_control_suite,
+    time_control_config,
+)
 from .runtime_speed import (
     DEFAULT_RUNTIME_SNAPSHOT_PATH,
     RUNTIME_FULL_CONFIGS,
@@ -49,6 +61,11 @@ from .runtime_speed import (
 
 __all__ = [
     "BenchConfig",
+    "CONTROL_FULL_CONFIGS",
+    "CONTROL_QUICK_CONFIGS",
+    "CONTROL_SCHEMA",
+    "ControlBenchConfig",
+    "DEFAULT_CONTROL_SNAPSHOT_PATH",
     "DEFAULT_RUNTIME_SNAPSHOT_PATH",
     "DEFAULT_SCHEDULES_SNAPSHOT_PATH",
     "DEFAULT_SNAPSHOT_PATH",
@@ -64,16 +81,21 @@ __all__ = [
     "SCHEMA",
     "ScheduleBenchConfig",
     "calibrate",
+    "check_control_snapshot",
+    "check_control_wins",
     "check_schedule_wins",
     "check_schedules_snapshot",
     "check_snapshot",
+    "format_control_suite",
     "format_runtime_suite",
     "format_schedules_suite",
     "format_suite",
+    "run_control_suite",
     "run_runtime_suite",
     "run_schedules_suite",
     "run_suite",
     "time_config",
+    "time_control_config",
     "time_runtime_config",
     "time_schedule_config",
     "write_snapshot",

@@ -1,0 +1,235 @@
+"""Benchmark of the adaptive control plane under a drifting workload.
+
+Runs an 8-iteration flip-drift schedule — expert popularity alternates
+between balanced and Zipf-skewed phases every two iterations — on a
+32-expert MoE-GPT shape sized so the paradigm ordering *crosses over*:
+micro-batched expert-centric wins the balanced phases while data-centric
+wins the skewed ones.  Every static paradigm (data-centric,
+expert-centric, pipelined-ec, microbatch-ec, and the static Eq. 1
+``auto`` pick) therefore loses some phase; the adaptive controller,
+re-picking per-block paradigms from the measured load signals between
+iterations, should win both.
+
+Like the schedules suite this capture gates on two axes:
+
+* wall-clock medians against ``benchmarks/BENCH_control.json`` with the
+  same calibration rescaling as :mod:`repro.bench.speed`, and
+* the **structural control win**, a pure simulated-time fact: the
+  adaptive run's total simulated seconds must beat *every* static
+  paradigm's total on the same drift trajectory.  That holds on any
+  host; a violation means the control policy regressed, not a slow
+  runner.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .speed import calibrate, check_snapshot
+
+CONTROL_SCHEMA = "janus-repro/bench-control/v1"
+
+DEFAULT_CONTROL_SNAPSHOT_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_control.json"
+)
+
+# The crossover shape: batch 64 puts the 32-expert block's Eq. 1 gain
+# ratio near 1 (R = 1.33 on two machines), where the measured ordering
+# flips with skew — micro-batched EC wins balanced phases, data-centric
+# wins Zipf-1.5 phases.
+_EXPERTS = 32
+_BATCH = 64
+_MACHINES = 2
+_ITERATIONS = 8
+_AUTO_THRESHOLD = 1.5
+
+# Drift schedule shared by every run: two balanced iterations, two
+# skewed, repeating.  Deterministic per (seed, iteration, block).
+_DRIFT = dict(kind="flip", skew=1.5, period=2, seed=7)
+
+# The controller recovers after a single calm observation: the deviation
+# signal comes from exact routing aggregates (not noisy samples), so one
+# clean reading is decisive and keeps the adaptation lag at zero.
+_CONTROL = dict(recover_after_clean=1)
+
+
+class ControlBenchConfig(NamedTuple):
+    """One timed drift schedule: a static paradigm or the adaptive run."""
+
+    mode: str
+    adaptive: bool = False
+
+    @property
+    def key(self) -> str:
+        return "adaptive" if self.adaptive else self.mode
+
+
+CONTROL_FULL_CONFIGS: Tuple[ControlBenchConfig, ...] = (
+    ControlBenchConfig("data-centric"),
+    ControlBenchConfig("expert-centric"),
+    ControlBenchConfig("pipelined-ec"),
+    ControlBenchConfig("microbatch-ec"),
+    ControlBenchConfig("auto"),
+    ControlBenchConfig("auto", adaptive=True),
+)
+
+# CI smoke subset: the adaptive run against the strongest static.
+CONTROL_QUICK_CONFIGS: Tuple[ControlBenchConfig, ...] = (
+    ControlBenchConfig("microbatch-ec"),
+    ControlBenchConfig("auto", adaptive=True),
+)
+
+
+def _build_engine(spec: ControlBenchConfig):
+    from ..cluster import Cluster
+    from ..config import moe_gpt
+    from ..control import ControlConfig, Controller, ControlPolicy
+    from ..core import JanusFeatures, build_workload, engine_for
+    from ..workloads import DriftSpec
+
+    config = moe_gpt(_EXPERTS).scaled(batch_size=_BATCH)
+    cluster = Cluster(_MACHINES)
+    workload = build_workload(config, cluster)
+    features = JanusFeatures(micro_batches=4, grad_allreduce="overlap")
+    controller = Controller(
+        policy=(
+            ControlPolicy(config=ControlConfig(**_CONTROL))
+            if spec.adaptive
+            else None
+        ),
+        drift=DriftSpec(**_DRIFT),
+    )
+    kwargs = dict(
+        workload=workload, features=features, controller=controller,
+        check_memory=False,
+    )
+    if spec.mode in ("auto", "unified"):
+        kwargs["threshold"] = _AUTO_THRESHOLD
+    return engine_for(spec.mode, config, cluster, **kwargs), controller
+
+
+def time_control_config(spec: ControlBenchConfig, runs: int = 1) -> Dict:
+    """Time ``runs`` cold drift schedules of one config; report the median.
+
+    Each run is a fresh engine + fresh workload driven through the full
+    ``_ITERATIONS``-step drift trajectory, so every config — static or
+    adaptive — sees bit-identical workload evolution.
+    """
+    samples: List[float] = []
+    sim_seconds = 0.0
+    per_iteration: List[float] = []
+    events = 0
+    switches = 0
+    for _ in range(runs):
+        engine, controller = _build_engine(spec)
+        start = time.perf_counter()
+        results = engine.run(_ITERATIONS)
+        samples.append(time.perf_counter() - start)
+        sim_seconds = sum(result.seconds for result in results)
+        per_iteration = [
+            round(result.seconds * 1e3, 3) for result in results
+        ]
+        events = sum(result.sim_events for result in results)
+        switches = controller.switch_count
+    median = statistics.median(samples)
+    return {
+        "median_s": median,
+        "best_s": min(samples),
+        "samples": [round(sample, 6) for sample in samples],
+        "sim_seconds": sim_seconds,
+        "per_iteration_ms": per_iteration,
+        "events": events,
+        "events_per_s": events / median if median > 0 else 0.0,
+        "switches": switches,
+    }
+
+
+def run_control_suite(
+    configs: Sequence[ControlBenchConfig] = CONTROL_FULL_CONFIGS,
+    runs: int = 1,
+    calibration: Optional[float] = None,
+) -> Dict:
+    """Time every control config and assemble the capture."""
+    return {
+        "schema": CONTROL_SCHEMA,
+        "config": {
+            "model": "MoE-GPT",
+            "experts": _EXPERTS,
+            "batch_size": _BATCH,
+            "machines": _MACHINES,
+            "iterations": _ITERATIONS,
+            "auto_threshold": _AUTO_THRESHOLD,
+            "drift": dict(_DRIFT),
+            "control": dict(_CONTROL),
+            "runs": runs,
+        },
+        "calibration_s": calibrate() if calibration is None else calibration,
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "runs": {
+            spec.key: time_control_config(spec, runs=runs)
+            for spec in configs
+        },
+    }
+
+
+def check_control_wins(current: Dict) -> List[str]:
+    """Structural gate: adaptive must beat every static in simulated time."""
+    problems = []
+    runs = current.get("runs", {})
+    adaptive = runs.get("adaptive")
+    if adaptive is None:
+        return ["capture has no 'adaptive' run to gate on"]
+    fast = adaptive["sim_seconds"]
+    for key, entry in runs.items():
+        if key == "adaptive":
+            continue
+        slow = entry["sim_seconds"]
+        if fast >= slow:
+            problems.append(
+                f"adaptive: simulated {fast * 1e3:.2f} ms total does not "
+                f"beat static {key} ({slow * 1e3:.2f} ms total)"
+            )
+    return problems
+
+
+def check_control_snapshot(
+    current: Dict, snapshot: Dict, tolerance: float = 0.25
+) -> List[str]:
+    """Wall-clock regression gate (calibration-rescaled) + structural win."""
+    return check_control_wins(current) + check_snapshot(
+        current, snapshot, tolerance=tolerance
+    )
+
+
+def format_control_suite(current: Dict) -> str:
+    """Human-readable table of a capture, with speedups vs adaptive."""
+    runs = current.get("runs", {})
+    base = runs.get("adaptive", {}).get("sim_seconds")
+    header = (
+        f"{'config':<16} {'sim ms total':>13} {'vs adaptive':>12} "
+        f"{'switches':>9} {'wall ms':>9} {'events':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for key, entry in runs.items():
+        sim = entry["sim_seconds"]
+        ratio = f"{sim / base:.2f}x" if base and base > 0 else "-"
+        lines.append(
+            f"{key:<16} {sim * 1e3:>13.2f} {ratio:>12} "
+            f"{entry.get('switches', 0):>9d} "
+            f"{entry['median_s'] * 1e3:>9.1f} {entry['events']:>9d}"
+        )
+    lines.append(
+        f"calibration: {current.get('calibration_s', 0.0) * 1e3:.1f} ms"
+    )
+    return "\n".join(lines)

@@ -7,6 +7,8 @@ Commands:
   training, §5.1.3).
 * ``simulate`` — run timed iterations of a model under a chosen paradigm
   and print time/traffic (``--faults SPEC`` injects a seeded fault plan;
+  ``--drift SPEC`` shifts expert popularity between iterations;
+  ``--control SPEC`` turns on the adaptive control plane;
   ``--metrics-out``/``--trace-out`` export the run report and Chrome
   trace).
 * ``report``   — run several iterations with full metrics and write the
@@ -93,6 +95,24 @@ def _fault_plan(text: str) -> FaultPlan:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _drift_spec(text: str):
+    from .workloads import DriftSpec
+
+    try:
+        return DriftSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _control_config(text: str):
+    from .control import ControlConfig
+
+    try:
+        return ControlConfig.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _resolve_model(args) -> ModelConfig:
     if args.model == "pr-moe":
         config = pr_moe_transformer_xl(1 if args.machines <= 2 else 2)
@@ -156,11 +176,26 @@ def cmd_plan(args) -> int:
 def cmd_simulate(args) -> int:
     config = _resolve_model(args)
     cluster = Cluster(args.machines)
+    if args.inference and args.iterations > 1:
+        print("--inference is a single forward pass; drop --iterations",
+              file=sys.stderr)
+        return 2
     kwargs = {}
     if args.chunks is not None:
         kwargs["features"] = JanusFeatures(ec_pipeline_chunks=args.chunks)
     if args.faults is not None:
         kwargs["fault_plan"] = args.faults
+    controller = None
+    if args.drift is not None or args.control is not None:
+        from .control import Controller, ControlPolicy
+
+        policy = (
+            ControlPolicy(config=args.control)
+            if args.control is not None
+            else None
+        )
+        controller = Controller(policy=policy, drift=args.drift)
+        kwargs["controller"] = controller
     exporting = args.metrics_out is not None or args.trace_out is not None
     registry = trace = None
     if exporting:
@@ -177,7 +212,12 @@ def cmd_simulate(args) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
         try:
-            result = engine.run_iteration(forward_only=args.inference)
+            if args.iterations > 1:
+                results = engine.run(args.iterations)
+                result = results[-1]
+            else:
+                result = engine.run_iteration(forward_only=args.inference)
+                results = [result]
         finally:
             if profiler is not None:
                 profiler.disable()
@@ -191,7 +231,7 @@ def cmd_simulate(args) -> int:
         stats.sort_stats("cumulative").print_stats(25)
     if args.metrics_out is not None:
         report = build_run_report(
-            [result], registry,
+            results, registry,
             model=config.name, paradigm=args.paradigm,
             machines=args.machines, inference=args.inference,
         )
@@ -205,8 +245,15 @@ def cmd_simulate(args) -> int:
         print(f"Chrome trace written to {args.trace_out} "
               "(load in Perfetto / chrome://tracing)")
     phase = "inference pass" if args.inference else "training iteration"
-    print(f"{config.name} / {args.paradigm}: "
-          f"{result.seconds * 1e3:.1f} ms per {phase}")
+    if len(results) > 1:
+        total = sum(item.seconds for item in results)
+        print(f"{config.name} / {args.paradigm}: {total * 1e3:.1f} ms over "
+              f"{len(results)} iterations "
+              f"(mean {total / len(results) * 1e3:.1f} ms; last iteration "
+              "below)")
+    else:
+        print(f"{config.name} / {args.paradigm}: "
+              f"{result.seconds * 1e3:.1f} ms per {phase}")
     print(f"  All-to-All time:     {result.all_to_all_seconds * 1e3:.1f} ms "
           f"({result.all_to_all_share:.0%})")
     print(f"  cross-node traffic:  {result.cross_node_gb_per_machine:.2f} "
@@ -219,6 +266,8 @@ def cmd_simulate(args) -> int:
         print(f"  faults:              {stats.dropped_messages} dropped, "
               f"{stats.retries} retries, {stats.stale_fallbacks} stale "
               f"fallbacks, {stats.grad_failures} grad losses")
+    if controller is not None:
+        print(f"  {controller.summary()}")
     return 0
 
 
@@ -331,6 +380,9 @@ def cmd_chaos(args) -> int:
 def _bench_capture(args, suite: str):
     """Run one bench suite ("sim" or "runtime"); return (capture, path)."""
     from .bench import (
+        CONTROL_FULL_CONFIGS,
+        CONTROL_QUICK_CONFIGS,
+        DEFAULT_CONTROL_SNAPSHOT_PATH,
         DEFAULT_RUNTIME_SNAPSHOT_PATH,
         DEFAULT_SCHEDULES_SNAPSHOT_PATH,
         DEFAULT_SNAPSHOT_PATH,
@@ -340,14 +392,26 @@ def _bench_capture(args, suite: str):
         RUNTIME_QUICK_CONFIGS,
         SCHEDULE_FULL_CONFIGS,
         SCHEDULE_QUICK_CONFIGS,
+        format_control_suite,
         format_runtime_suite,
         format_schedules_suite,
         format_suite,
+        run_control_suite,
         run_runtime_suite,
         run_schedules_suite,
         run_suite,
     )
 
+    if suite == "control":
+        configs = (
+            CONTROL_QUICK_CONFIGS if args.quick else CONTROL_FULL_CONFIGS
+        )
+        # Every config is a full multi-iteration drift schedule, so one
+        # run per config is already a stable median.
+        runs = args.runs if args.runs is not None else 1
+        current = run_control_suite(configs, runs=runs)
+        print(format_control_suite(current))
+        return current, DEFAULT_CONTROL_SNAPSHOT_PATH
     if suite == "schedules":
         configs = (
             SCHEDULE_QUICK_CONFIGS if args.quick else SCHEDULE_FULL_CONFIGS
@@ -383,13 +447,14 @@ def cmd_bench(args) -> int:
     import json
 
     from .bench import (
+        check_control_snapshot,
         check_schedules_snapshot,
         check_snapshot,
         write_snapshot,
     )
 
     suites = (
-        ("sim", "runtime", "schedules")
+        ("sim", "runtime", "schedules", "control")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -419,12 +484,11 @@ def cmd_bench(args) -> int:
                 )
                 return 2
             snapshot = json.loads(path.read_text())
-            # The schedules suite also gates on its simulated-time wins.
-            checker = (
-                check_schedules_snapshot
-                if suite == "schedules"
-                else check_snapshot
-            )
+            # The schedules/control suites also gate on simulated-time wins.
+            checker = {
+                "schedules": check_schedules_snapshot,
+                "control": check_control_snapshot,
+            }.get(suite, check_snapshot)
             problems = checker(current, snapshot, tolerance=args.tolerance)
             snap_dtype = snapshot.get("config", {}).get("dtype")
             cur_dtype = current.get("config", {}).get("dtype")
@@ -551,6 +615,25 @@ def build_parser() -> argparse.ArgumentParser:
              "@start:end in simulated seconds)",
     )
     simulate.add_argument(
+        "--iterations", type=_positive_int, default=1,
+        help="training iterations to simulate (drift/control act between "
+             "iterations, so they need more than one)",
+    )
+    simulate.add_argument(
+        "--drift", type=_drift_spec, default=None, metavar="SPEC",
+        help="drifting expert-popularity workload, e.g. "
+             "'flip;skew=1.5;period=2;seed=7' "
+             "(kinds: static, flip, rotate, walk; keys: skew, period, "
+             "low_skew, step, seed)",
+    )
+    simulate.add_argument(
+        "--control", type=_control_config, default=None, metavar="SPEC",
+        help="adaptive control plane, e.g. 'adaptive' or "
+             "'adaptive;deviation=0.2;recover_after_clean=1;replicas=off' "
+             "(re-picks per-block paradigms and replicates hot experts "
+             "between iterations)",
+    )
+    simulate.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the top-25 functions by "
              "cumulative time (hot-path work starts from data)",
@@ -610,13 +693,16 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="wall-clock benchmark of the simulator / runtime"
     )
     bench.add_argument("--suite",
-                       choices=("sim", "runtime", "schedules", "all"),
+                       choices=("sim", "runtime", "schedules", "control",
+                                "all"),
                        default="sim",
                        help="sim = simulator configs (BENCH_speed.json); "
                             "runtime = numerical trainer steps "
                             "(BENCH_runtime.json); schedules = task-graph "
                             "schedules on the mixed-R model "
-                            "(BENCH_schedules.json); all = every suite")
+                            "(BENCH_schedules.json); control = adaptive "
+                            "controller vs static paradigms under drift "
+                            "(BENCH_control.json); all = every suite")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset (MoE-GPT, 3 paradigms)")
     bench.add_argument("--runs", type=_positive_int, default=None,

@@ -1,0 +1,32 @@
+"""Online adaptive control plane (ROADMAP item 3).
+
+Between-iteration feedback loop over the timed engine: harvest one
+iteration's measured signals (:mod:`repro.control.signals`), decide
+(:mod:`repro.control.policy`) which blocks should switch paradigm, which
+hot experts to replicate across machines and which cold replicas to evict,
+and apply the decisions plus the next iteration's popularity drift
+(:mod:`repro.control.controller`).  Unifies the fault-driven
+:class:`~repro.faults.DegradationPolicy` of the resilience layer and the
+new load-driven adaptation behind one policy interface, with hysteresis,
+cooldown and probation-based recovery so decisions neither flap nor
+ratchet one-way.
+"""
+
+from .controller import Controller
+from .policy import (
+    ControlConfig,
+    ControlDecision,
+    ControlPolicy,
+    CostModel,
+)
+from .signals import BlockLoadSignals, ControlSignals
+
+__all__ = [
+    "BlockLoadSignals",
+    "ControlConfig",
+    "ControlDecision",
+    "ControlPolicy",
+    "ControlSignals",
+    "Controller",
+    "CostModel",
+]

@@ -1,0 +1,507 @@
+"""Decision logic of the adaptive control plane.
+
+:class:`ControlPolicy` runs once between iterations, over the measured
+:class:`~repro.control.signals.ControlSignals`, and emits a
+:class:`ControlDecision`: per-block paradigm switches (fault-driven,
+load-driven, or recovery) plus the target expert-replica map.  Three design
+rules keep it honest:
+
+* **Adapt to change, not to level.**  Load signals are compared against a
+  per-block *reference* captured on the first observed iteration, and the
+  load/replication arms only engage once the deviation from that reference
+  exceeds a deadband.  The simulation is deterministic, so on a static
+  workload the deviation is exactly zero and the policy is structurally
+  inert — attaching a controller to a drift-free, fault-free run is
+  bit-identical to not attaching one.
+* **Hysteresis everywhere.**  Switching needs ``patience`` consecutive
+  drifted iterations, a cost-model win of at least ``hysteresis`` margin,
+  and a ``cooldown`` gap between switches; recovery needs a calm/clean
+  streak and exits through a ``probation`` window.  Oscillating load
+  therefore cannot flap a block (tested in ``tests/test_control_policy``).
+* **Probation-based recovery.**  A recovered block is on probation; if it
+  re-degrades during (or right after) probation, the clean-streak target
+  doubles, up to ``max_backoff`` — repeated flapping gets exponentially
+  harder, never one-way as the old ratchet was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .signals import BlockLoadSignals, ControlSignals
+
+__all__ = ["ControlConfig", "ControlDecision", "ControlPolicy", "CostModel"]
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Knobs of the load/replication arms (the fault arm keeps its knobs on
+    :class:`~repro.faults.DegradationPolicy`).
+
+    ``deviation`` is the deadband: relative growth of a block's
+    machine-imbalance over its reference before the load arm may act.
+    ``recover_deviation`` (default: half the deadband) is the calm
+    threshold for recovery — a lower exit than entry bar, classic
+    hysteresis.  ``hysteresis`` is the required cost-model win margin;
+    ``patience`` the consecutive drifted iterations before switching;
+    ``cooldown`` the minimum gap (iterations) after any switch;
+    ``recover_after_clean`` the calm/clean streak earning recovery;
+    ``probation`` the post-recovery window during which re-degrading
+    doubles the streak target (up to ``max_backoff``).
+
+    Replication: only blocks running a strategy in ``replicable`` (the
+    pull-based ones — replicas serve fetches, so All-to-All blocks cannot
+    use them) get replicas; an expert must hold ``hot_factor/E`` of the
+    block's tokens to gain replicas and keeps them down to
+    ``evict_factor/E`` (enter/exit watermarks); ``max_replicas`` caps
+    cluster-wide ``(block, expert, machine)`` entries.
+    """
+
+    deviation: float = 0.25
+    recover_deviation: Optional[float] = None
+    # Total-variation distance of a block's expert-share vector from its
+    # reference before the replication arm engages: catches hotspot
+    # *identity* shifts (rotate drift) that leave machine imbalance flat.
+    share_deviation: float = 0.1
+    hysteresis: float = 0.1
+    patience: int = 1
+    cooldown: int = 1
+    recover_after_clean: int = 2
+    probation: int = 2
+    max_backoff: int = 4
+    load_strategy: str = "data-centric"
+    adapt_load: bool = True
+    adapt_replicas: bool = True
+    replicable: Tuple[str, ...] = ("data-centric",)
+    hot_factor: float = 4.0
+    evict_factor: float = 2.0
+    max_replicas: int = 16
+
+    def __post_init__(self):
+        if self.deviation < 0:
+            raise ValueError("deviation must be non-negative")
+        if self.recover_deviation is not None and self.recover_deviation < 0:
+            raise ValueError("recover_deviation must be non-negative")
+        if self.share_deviation < 0:
+            raise ValueError("share_deviation must be non-negative")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if self.patience <= 0 or self.cooldown < 0:
+            raise ValueError("patience must be positive, cooldown >= 0")
+        if self.recover_after_clean <= 0 or self.probation <= 0:
+            raise ValueError("recover_after_clean/probation must be positive")
+        if self.max_backoff < 1:
+            raise ValueError("max_backoff must be >= 1")
+        if self.hot_factor <= 1 or self.evict_factor <= 0:
+            raise ValueError("hot_factor must be > 1, evict_factor > 0")
+        if self.evict_factor > self.hot_factor:
+            raise ValueError("evict_factor must not exceed hot_factor")
+        if self.max_replicas < 0:
+            raise ValueError("max_replicas must be non-negative")
+
+    @property
+    def calm_deviation(self) -> float:
+        return (
+            self.recover_deviation
+            if self.recover_deviation is not None
+            else self.deviation / 2.0
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "ControlConfig":
+        """Parse the CLI grammar, e.g.
+        ``deviation=0.3;patience=2;replicas=off``.  The bare word
+        ``adaptive`` (or an empty string) means all defaults; booleans
+        accept ``on``/``off``.
+        """
+        spec = cls()
+        fields_ = {
+            "deviation": float, "recover_deviation": float,
+            "share_deviation": float,
+            "hysteresis": float, "patience": int, "cooldown": int,
+            "recover_after_clean": int, "probation": int, "max_backoff": int,
+            "load_strategy": str, "hot_factor": float, "evict_factor": float,
+            "max_replicas": int,
+        }
+        flags = {"load": "adapt_load", "replicas": "adapt_replicas"}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause or clause == "adaptive":
+                continue
+            if "=" not in clause:
+                raise ValueError(f"malformed control clause {clause!r}")
+            key, _, value = clause.partition("=")
+            key = key.strip().replace("-", "_")
+            value = value.strip()
+            if key in flags:
+                if value not in ("on", "off"):
+                    raise ValueError(
+                        f"control flag {key!r} must be on/off, got {value!r}"
+                    )
+                spec = replace(spec, **{flags[key]: value == "on"})
+            elif key in fields_:
+                try:
+                    spec = replace(spec, **{key: fields_[key](value)})
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad value for control field {key!r}: {value!r}"
+                    ) from exc
+            else:
+                raise ValueError(f"unknown control field {key!r}")
+        return spec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Closed-form per-block iteration-time estimates from *measured* load.
+
+    The same ingredients as Eq. 1 and the ``auto_schedule_map`` selector,
+    but evaluated on the iteration's observed routing aggregates instead of
+    the balanced-routing assumption: the expert-centric estimate pays the
+    measured cross-machine All-to-All bottleneck and the hottest rank's
+    compute (a synchronous collective is paced by its slowest participant),
+    while the data-centric estimate pays the largest per-machine external
+    fetch set — which skew does not inflate.  Absolute accuracy is not the
+    goal; the *ordering* under a hysteresis margin is what the policy
+    consumes (FSMoE-style measured cost modelling).
+    """
+
+    token_bytes: float
+    expert_bytes: float
+    expert_flops: float
+    gpu_flops: float
+    nic_bandwidth: float          # aggregate bytes/s per machine
+    kernel_overhead: float
+    micro_batches: int
+    ec_pipeline_chunks: int
+
+    _BACKWARD_TOTAL = 3.0         # fwd + 2x bwd sweeps
+
+    @classmethod
+    def from_engine(cls, engine) -> "CostModel":
+        spec = engine.cluster.spec
+        workload = engine.workload
+        return cls(
+            token_bytes=workload.token_bytes,
+            expert_bytes=workload.expert_bytes,
+            expert_flops=workload.expert_flops,
+            gpu_flops=spec.gpu.effective_flops(workload.config.hidden_dim),
+            nic_bandwidth=spec.num_nics * spec.nic.bandwidth,
+            kernel_overhead=spec.gpu.kernel_overhead,
+            micro_batches=engine.features.micro_batches,
+            ec_pipeline_chunks=engine.features.ec_pipeline_chunks,
+        )
+
+    def estimate(self, sig: BlockLoadSignals, strategy: str) -> float:
+        """Estimated fwd+bwd seconds for ``sig``'s block under ``strategy``."""
+        sweeps = self._BACKWARD_TOTAL
+        # 4 All-to-Alls per iteration (dispatch+combine, fwd and bwd) over
+        # the measured cross-machine bottleneck.
+        a2a = (
+            4.0 * sig.a2a_bottleneck_tokens * self.token_bytes
+            / self.nic_bandwidth
+        )
+        hot_compute = sweeps * sig.max_rank_recv * self.expert_flops \
+            / self.gpu_flops
+        launch = sweeps * self.kernel_overhead * sig.experts_per_worker
+        if strategy == "expert-centric":
+            return a2a + hot_compute + launch
+        if strategy in ("pipelined-ec", "microbatch-ec"):
+            chunks = (
+                self.ec_pipeline_chunks if strategy == "pipelined-ec"
+                else self.micro_batches
+            )
+            overlapped = (
+                max(a2a, hot_compute)
+                + min(a2a, hot_compute) / chunks
+            )
+            extra_launch = (chunks - 1) * self.kernel_overhead \
+                * sig.experts_per_worker * sweeps
+            return overlapped + launch + extra_launch
+        if strategy == "data-centric":
+            # Fetch the largest external expert set (fwd) and push the
+            # gradients home (bwd); prefetch overlaps roughly half of it
+            # behind dense compute (§5.3).
+            pull = (
+                2.0 * sig.max_external_count * self.expert_bytes
+                / self.nic_bandwidth
+            )
+            # DC computes where the tokens already are: every rank works on
+            # its own routed batch, so compute is the *mean*, not the max.
+            world = max(1, sig.num_experts // sig.experts_per_worker)
+            mean_rank_tokens = sig.tokens_total / world
+            compute = sweeps * mean_rank_tokens * self.expert_flops \
+                / self.gpu_flops
+            launch_dc = sweeps * self.kernel_overhead \
+                * sig.active_experts_per_rank
+            return 0.5 * pull + compute + launch_dc
+        raise ValueError(f"cost model knows no strategy {strategy!r}")
+
+
+@dataclass
+class ControlDecision:
+    """What one control step changes (empty dicts = leave everything)."""
+
+    iteration: int
+    # Block -> new strategy name; only *changes* appear here.
+    strategies: Dict[int, str] = field(default_factory=dict)
+    # Block -> why ("fault" | "load" | "recover").
+    causes: Dict[int, str] = field(default_factory=dict)
+    # Replica entries added/removed this step: (block, expert, machine).
+    replicate: List[Tuple[int, int, int]] = field(default_factory=list)
+    evict: List[Tuple[int, int, int]] = field(default_factory=list)
+    # Full replica map after this step: block -> expert -> machines.
+    replicas: Dict[int, Dict[int, Tuple[int, ...]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.strategies or self.replicate or self.evict)
+
+
+@dataclass
+class _BlockState:
+    """Mutable per-block controller state (the state machine node)."""
+
+    mode: str = "normal"          # normal | degraded | probation
+    cause: Optional[str] = None   # fault | load (while degraded)
+    pending: int = 0              # consecutive drifted iterations seen
+    streak: int = 0               # consecutive clean/calm iterations
+    cooldown: int = 0             # iterations until next switch allowed
+    probation: int = 0            # remaining probation iterations
+    backoff: int = 1              # clean-streak multiplier (doubles on flap)
+
+
+class ControlPolicy:
+    """Per-block state machine unifying the fault and load arms.
+
+    ``degradation`` (a :class:`~repro.faults.DegradationPolicy`) is the
+    fault arm: its ``decide`` keeps picking the blocks to degrade, and its
+    ``recover_after_clean`` knob (None = legacy one-way ratchet) arms
+    probation-based recovery.  The load and replication arms follow
+    ``config``.  ``preferred`` remembers each block's original (Eq. 1)
+    strategy — the recovery target.
+    """
+
+    def __init__(self, config: Optional[ControlConfig] = None,
+                 degradation=None):
+        self.config = config if config is not None else ControlConfig()
+        self.degradation = degradation
+        self.preferred: Dict[int, str] = {}
+        self.reference: Dict[int, float] = {}
+        self.reference_share: Dict[int, np.ndarray] = {}
+        self.replicas: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        self._state: Dict[int, _BlockState] = {}
+
+    def attach(self, strategies: Dict[int, str]) -> None:
+        """Record the engine's starting strategy map as the preference."""
+        for block, name in strategies.items():
+            self.preferred.setdefault(block, name)
+
+    def state_of(self, block: int) -> _BlockState:
+        return self._state.setdefault(block, _BlockState())
+
+    def deviation_of(self, block: int, sig: BlockLoadSignals) -> float:
+        """Relative machine-imbalance growth over the block's reference."""
+        ref = self.reference.setdefault(block, sig.machine_imbalance)
+        return (sig.machine_imbalance - ref) / max(ref, 1.0)
+
+    def share_drift_of(self, block: int, sig: BlockLoadSignals) -> float:
+        """Total-variation distance of the expert-share vector from the
+        block's reference share (0 = identical popularity, 1 = disjoint)."""
+        ref = self.reference_share.setdefault(
+            block, np.array(sig.expert_share, dtype=float)
+        )
+        if ref.shape != sig.expert_share.shape:
+            return 0.0
+        return float(0.5 * np.abs(sig.expert_share - ref).sum())
+
+    # -- the decision step ---------------------------------------------------
+
+    def decide(
+        self,
+        signals: ControlSignals,
+        costs: Optional[CostModel] = None,
+    ) -> ControlDecision:
+        """One control step over one iteration's signals."""
+        self.attach(signals.strategies)
+        decision = ControlDecision(iteration=signals.iteration)
+        fault_targets: Dict[int, str] = {}
+        if self.degradation is not None and signals.fault_stats is not None:
+            fault_targets = self.degradation.decide(signals.fault_stats)
+
+        drifted: Dict[int, bool] = {}
+        for block in sorted(signals.strategies):
+            sig = signals.blocks.get(block)
+            deviation = (
+                self.deviation_of(block, sig) if sig is not None else 0.0
+            )
+            share_drift = (
+                self.share_drift_of(block, sig) if sig is not None else 0.0
+            )
+            drifted[block] = (
+                deviation > self.config.deviation
+                or share_drift > self.config.share_deviation
+            )
+            self._decide_block(
+                block, signals, decision, fault_targets, deviation, costs,
+            )
+        self._decide_replicas(signals, decision, drifted)
+        return decision
+
+    def _decide_block(
+        self, block, signals, decision, fault_targets, deviation, costs
+    ) -> None:
+        cfg = self.config
+        state = self.state_of(block)
+        current = signals.strategies[block]
+        if state.cooldown > 0:
+            state.cooldown -= 1
+        on_probation = state.mode == "probation"
+        if on_probation:
+            state.probation -= 1
+            if state.probation <= 0:
+                state.mode = "normal"
+                state.backoff = 1
+
+        # Fault arm dominates: a block the DegradationPolicy names must
+        # degrade now, whatever the load arm thinks.
+        if block in fault_targets:
+            if on_probation:
+                state.backoff = min(state.backoff * 2, cfg.max_backoff)
+            state.mode, state.cause = "degraded", "fault"
+            state.streak = state.pending = 0
+            state.cooldown = cfg.cooldown
+            target = fault_targets[block]
+            if current != target:
+                decision.strategies[block] = target
+                decision.causes[block] = "fault"
+            return
+
+        if state.mode == "degraded" and state.cause == "fault":
+            recover_after = getattr(
+                self.degradation, "recover_after_clean", None
+            )
+            if recover_after is None:
+                return          # legacy one-way ratchet preserved
+            state.streak = state.streak + 1 if signals.fault_clean else 0
+            if state.streak >= recover_after * state.backoff:
+                self._recover(block, current, decision, state)
+            return
+
+        sig = signals.blocks.get(block)
+        if not cfg.adapt_load or sig is None:
+            return
+
+        if state.mode == "degraded" and state.cause == "load":
+            calm = deviation <= cfg.calm_deviation
+            state.streak = state.streak + 1 if calm else 0
+            if state.streak >= cfg.recover_after_clean * state.backoff:
+                self._recover(block, current, decision, state)
+            return
+
+        # Normal / probation: watch for sustained drift worth switching on.
+        drifted = deviation > cfg.deviation
+        state.pending = state.pending + 1 if drifted else 0
+        if (
+            not drifted
+            or state.pending < cfg.patience
+            or state.cooldown > 0
+            or costs is None
+        ):
+            return
+        target = cfg.load_strategy
+        if target == current:
+            return
+        current_cost = costs.estimate(sig, current)
+        target_cost = costs.estimate(sig, target)
+        if target_cost >= current_cost * (1.0 - cfg.hysteresis):
+            return
+        if on_probation:
+            state.backoff = min(state.backoff * 2, cfg.max_backoff)
+        state.mode, state.cause = "degraded", "load"
+        state.streak = state.pending = 0
+        state.cooldown = cfg.cooldown
+        decision.strategies[block] = target
+        decision.causes[block] = "load"
+
+    def _recover(self, block, current, decision, state) -> None:
+        cfg = self.config
+        state.mode, state.cause = "probation", None
+        state.probation = cfg.probation
+        state.streak = 0
+        state.cooldown = cfg.cooldown
+        preferred = self.preferred.get(block, current)
+        if current != preferred:
+            decision.strategies[block] = preferred
+            decision.causes[block] = "recover"
+
+    # -- replication arm -----------------------------------------------------
+
+    def _decide_replicas(self, signals, decision, drifted_blocks) -> None:
+        cfg = self.config
+        if not cfg.adapt_replicas:
+            decision.replicas = self.replicas
+            return
+        effective = dict(signals.strategies)
+        effective.update(decision.strategies)
+
+        entries: List[Tuple[float, int, int, Tuple[int, ...]]] = []
+        for block in sorted(signals.blocks):
+            sig = signals.blocks[block]
+            if effective.get(block) not in cfg.replicable:
+                continue
+            held = self.replicas.get(block, {})
+            hot_cut = cfg.hot_factor / sig.num_experts
+            keep_cut = cfg.evict_factor / sig.num_experts
+            drifted = drifted_blocks.get(block, False)
+            for expert in range(sig.num_experts):
+                share = float(sig.expert_share[expert])
+                holding = expert in held
+                # Enter at the hot watermark (and only under drift — a
+                # statically hot expert is a placement problem, not a
+                # control-plane event); keep down to the evict watermark.
+                if holding:
+                    if share < keep_cut:
+                        continue
+                elif share < hot_cut or not drifted:
+                    continue
+                machines = tuple(
+                    machine
+                    for machine in sorted(sig.external_demand)
+                    if expert in sig.external_demand[machine]
+                )
+                if machines:
+                    entries.append((share, block, expert, machines))
+
+        # Hottest experts claim the budget first; ties break low-index.
+        entries.sort(key=lambda e: (-e[0], e[1], e[2]))
+        new_map: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        budget = cfg.max_replicas
+        for share, block, expert, machines in entries:
+            take = machines[:budget]
+            if not take:
+                break
+            new_map.setdefault(block, {})[expert] = take
+            budget -= len(take)
+
+        old_entries = {
+            (block, expert, machine)
+            for block, experts in self.replicas.items()
+            for expert, machines in experts.items()
+            for machine in machines
+        }
+        new_entries = {
+            (block, expert, machine)
+            for block, experts in new_map.items()
+            for expert, machines in experts.items()
+            for machine in machines
+        }
+        decision.replicate = sorted(new_entries - old_entries)
+        decision.evict = sorted(old_entries - new_entries)
+        decision.replicas = new_map
+        self.replicas = new_map

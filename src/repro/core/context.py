@@ -89,6 +89,7 @@ class IterationContext:
         fault_stats=None,
         metrics=None,
         trace_worker=0,
+        replicas=None,
     ):
         """``dc_blocks``: MoE block indices served by the Janus Task Queue
         (and thus need the schedulers).  Defaults to every MoE block.
@@ -97,7 +98,14 @@ class IterationContext:
         MoE block indices that strategy executes (see
         :mod:`repro.core.strategies`).  When omitted it is derived from
         ``dc_blocks``: task-queue blocks run ``"data-centric"``, the rest
-        ``"expert-centric"``."""
+        ``"expert-centric"``.
+
+        ``replicas``: control-plane expert replica map
+        (``block -> expert -> machines holding a replica``).  A replicated
+        expert serves a machine's cache from the (bounded-staleness) local
+        copy at iteration start, so the fetch chains skip it; a background
+        replica-sync transfer pays the refresh bytes.  Empty/None keeps
+        every code path byte-for-byte identical to the pre-control engine."""
         self.env = env
         self.fabric = fabric
         self.workload = workload
@@ -182,6 +190,16 @@ class IterationContext:
         self.cache_fills: Dict[int, int] = {
             m: 0 for m in range(layout.num_machines)
         }
+        self.replicas: Dict[int, Dict[int, Tuple[int, ...]]] = {
+            block: dict(experts) for block, experts in (replicas or {}).items()
+        }
+        # Completed background replica-sync transfers per machine.
+        self.replica_syncs: Dict[int, int] = {
+            m: 0 for m in range(layout.num_machines)
+        }
+        # Processes the iteration must drain besides workers/collectors
+        # (replica syncs); empty unless the control plane placed replicas.
+        self.background_procs: List = []
 
         self.iteration_start = env.event()
         # Routing is fixed for the whole iteration, so the needed_* helpers
@@ -256,6 +274,13 @@ class IterationContext:
         for rank in self.layout.ranks_of_machine(machine):
             needed.update(self.needed_external(block_index, rank))
         return sorted(needed)
+
+    def replicated_on(self, block_index: int, expert: int, machine: int) -> bool:
+        """Whether ``machine`` holds a control-plane replica of the expert."""
+        by_block = self.replicas.get(block_index)
+        if not by_block:
+            return False
+        return machine in by_block.get(expert, ())
 
     # -- event registries -----------------------------------------------------------
 

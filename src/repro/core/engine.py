@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..cluster import Cluster
+from ..cluster import Cluster, Device
 from ..faults import FaultInjector, FaultStats, ResilienceConfig
 from ..metrics import MetricsRegistry, collect_iteration_metrics
 from ..netsim import Fabric
@@ -107,6 +107,7 @@ class JanusEngine:
         fault_plan=None,
         resilience=None,
         degradation=None,
+        controller=None,
         metrics: Optional[MetricsRegistry] = None,
         trace: Optional[TraceRecorder] = None,
         scheduler: str = "taskgraph",
@@ -136,7 +137,16 @@ class JanusEngine:
         no injected faults).  ``degradation``
         (:class:`~repro.faults.DegradationPolicy`) switches blocks that
         keep blowing their pull deadlines to the fallback strategy between
-        iterations of :meth:`run`.
+        iterations of :meth:`run`; setting its ``recover_after_clean`` knob
+        auto-wraps it in a fault-arm-only adaptive controller so degraded
+        blocks return to their preferred paradigm after a clean streak.
+
+        ``controller`` (:class:`~repro.control.Controller`) attaches the
+        full adaptive control plane: before each iteration it advances the
+        workload's drift process, after each iteration it harvests the
+        result's signals and may re-pick per-block strategies and the
+        expert replica map.  With drift and faults off the controller is
+        structurally inert and runs stay bit-identical.
 
         ``scheduler`` picks how the iteration's processes are organised:
         ``"taskgraph"`` (the default) builds an explicit task DAG via
@@ -175,6 +185,34 @@ class JanusEngine:
         if self.resilience is None and fault_plan is not None and fault_plan:
             self.resilience = ResilienceConfig()
         self.degradation = degradation
+        self.controller = controller
+        # Control-plane replica map (block -> expert -> machines); empty
+        # unless a controller placed replicas.
+        self.replicas: Dict[int, Dict[int, tuple]] = {}
+        if (
+            self.controller is None
+            and degradation is not None
+            and getattr(degradation, "recover_after_clean", None) is not None
+        ):
+            # recover_after_clean needs cross-iteration state the frozen
+            # policy cannot hold: wrap it in a fault-arm-only controller.
+            from ..control import ControlConfig, Controller, ControlPolicy
+
+            self.controller = Controller(
+                policy=ControlPolicy(
+                    config=ControlConfig(
+                        adapt_load=False, adapt_replicas=False
+                    ),
+                    degradation=degradation,
+                )
+            )
+        elif (
+            self.controller is not None
+            and self.controller.policy is not None
+            and self.controller.policy.degradation is None
+            and degradation is not None
+        ):
+            self.controller.policy.degradation = degradation
         self.metrics = metrics
         self.trace_recorder = trace
         if scheduler not in ("taskgraph", "legacy"):
@@ -268,14 +306,71 @@ class JanusEngine:
             fault_stats=fault_stats,
             metrics=self.metrics,
             trace_worker=self.trace_worker,
+            replicas=self.replicas,
         )
         for strategy in strategies.values():
             strategy.setup(ctx, forward_only)
+        self._spawn_replica_syncs(ctx, dc_blocks)
         runner = {
             index: strategies[name]
             for index, name in self.block_strategies.items()
         }
         return ctx, strategies, runner, fabric, fault_stats, trace
+
+    def _spawn_replica_syncs(self, ctx, dc_blocks) -> None:
+        """Spawn one background sync per (block, expert, replica machine).
+
+        The replica serves the machine's cache at iteration start (the
+        bounded-staleness copy the fetch chains rely on); the sync transfer
+        refreshes it, paying real NIC bytes that contend with the
+        iteration's other traffic.  No replicas -> no processes -> the
+        driver is byte-for-byte the pre-control one.
+        """
+        if not self.replicas:
+            return
+        task_queue_blocks = set(dc_blocks)
+        num_nics = self.cluster.spec.num_nics
+        position = 0
+        for block in sorted(self.replicas):
+            if block not in task_queue_blocks:
+                continue
+            placement = ctx.placements[block]
+            by_expert = self.replicas[block]
+            for expert in sorted(by_expert):
+                home = self.workload.layout.machine_of(placement.owner(expert))
+                for machine in by_expert[expert]:
+                    if machine == home:
+                        continue
+                    ctx.background_procs.append(
+                        ctx.env.process(
+                            self._replica_sync(
+                                ctx, block, expert, home, machine,
+                                position % num_nics,
+                            ),
+                            name=f"replica-sync[{block}:{expert}->{machine}]",
+                        )
+                    )
+                    position += 1
+
+    def _replica_sync(self, ctx, block, expert, home, machine, nic):
+        yield ctx.iteration_start
+        cached = ctx.cached_event(block, machine, expert)
+        if not cached.triggered:
+            cached.succeed()
+        started = ctx.env.now
+        flow = ctx.fabric.transfer(
+            Device.host(home),
+            Device.host(machine),
+            self.workload.expert_bytes,
+            nic_index=nic,
+            tag=("replica-sync", block, machine, expert),
+        )
+        yield flow.done
+        ctx.replica_syncs[machine] += 1
+        ctx.trace.record(
+            "comm.replica", started, ctx.env.now, block=block,
+            detail=f"machine={machine} nic={nic} expert={expert}",
+        )
 
     def run_iteration(self, forward_only: bool = False) -> IterationResult:
         """Simulate one iteration from a cold start; returns its result.
@@ -284,6 +379,8 @@ class JanusEngine:
         communication design applies to serving): no backward sweep, no
         gradient return traffic.
         """
+        if self.controller is not None:
+            self.controller.prepare(self)
         if self.check_memory:
             self._check_memory()
         self._jitter_rng = np.random.default_rng(self.jitter_seed)
@@ -322,7 +419,10 @@ class JanusEngine:
         def driver():
             ctx.iteration_start.succeed()
             yield AllOf(env, worker_procs)
-            pending = list(ctx.grad_delivered) + collector_procs
+            pending = (
+                list(ctx.grad_delivered) + collector_procs
+                + list(ctx.background_procs)
+            )
             if pending:
                 yield AllOf(env, pending)
 
@@ -364,13 +464,30 @@ class JanusEngine:
         for _ in range(iterations):
             result = self.run_iteration()
             results.append(result)
-            self._apply_degradation(result)
+            self._apply_control(result)
         return results
 
-    def _apply_degradation(self, result: IterationResult) -> None:
-        """Between iterations: flip blocks that kept missing their pull
-        deadlines to the policy's fallback strategy (graceful degradation
-        through the unified per-block selector)."""
+    def set_block_strategy(self, block: int, spec) -> str:
+        """Re-point one MoE block at a (resolved) strategy; returns the
+        canonical name.  The control plane's actuation entry point."""
+        if block not in self.block_strategies:
+            raise ValueError(f"block {block} has no strategy to replace")
+        resolved = resolve_strategy_name(spec)
+        self.block_strategies[block] = resolved
+        return resolved
+
+    def _apply_control(self, result: IterationResult) -> None:
+        """Between iterations: let the control plane adapt the engine.
+
+        With a controller attached this is the full adaptive loop (fault +
+        load arms, replication).  Otherwise the legacy degradation-only
+        path runs: flip blocks that kept missing their pull deadlines to
+        the policy's fallback strategy (graceful degradation through the
+        unified per-block selector), one-way.
+        """
+        if self.controller is not None:
+            self.controller.observe(self, result)
+            return
         if self.degradation is None or result.fault_stats is None:
             return
         for block, name in self.degradation.decide(result.fault_stats).items():

@@ -73,6 +73,17 @@ class InterNodeScheduler:
         """
         ctx = self.ctx
         experts = ctx.machine_external_experts(block, self.machine)
+        if ctx.replicas:
+            # Replicated experts are served from the machine-local replica
+            # (announced at iteration start; refreshed by the background
+            # sync), so the forward fetch chain skips them.  Gradients are
+            # untouched: grad_collectors still push every external expert's
+            # gradient home.
+            experts = [
+                expert
+                for expert in experts
+                if not ctx.replicated_on(block, expert, self.machine)
+            ]
         if not ctx.features.topology_aware:
             return experts
         placement = ctx.placements[block]

@@ -183,6 +183,7 @@ def unified_engine(
     fault_plan=None,
     resilience=None,
     degradation=None,
+    controller=None,
     metrics=None,
     trace=None,
     scheduler: str = "taskgraph",
@@ -200,6 +201,7 @@ def unified_engine(
         fault_plan=fault_plan,
         resilience=resilience,
         degradation=degradation,
+        controller=controller,
         metrics=metrics,
         trace=trace,
         scheduler=scheduler,
@@ -218,6 +220,7 @@ def auto_engine(
     fault_plan=None,
     resilience=None,
     degradation=None,
+    controller=None,
     metrics=None,
     trace=None,
     scheduler: str = "taskgraph",
@@ -241,6 +244,7 @@ def auto_engine(
         fault_plan=fault_plan,
         resilience=resilience,
         degradation=degradation,
+        controller=controller,
         metrics=metrics,
         trace=trace,
         scheduler=scheduler,
@@ -259,6 +263,7 @@ def strategy_engine(
     fault_plan=None,
     resilience=None,
     degradation=None,
+    controller=None,
     metrics=None,
     trace=None,
     scheduler: str = "taskgraph",
@@ -274,6 +279,7 @@ def strategy_engine(
         fault_plan=fault_plan,
         resilience=resilience,
         degradation=degradation,
+        controller=controller,
         metrics=metrics,
         trace=trace,
         scheduler=scheduler,

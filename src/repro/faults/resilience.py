@@ -64,14 +64,25 @@ class DegradationPolicy:
     fallbacks in one iteration is switched to ``fallback_strategy``
     (expert-centric All-to-All needs no cross-machine pull round-trips, so
     it is immune to pull-request loss) for subsequent iterations.
+
+    ``recover_after_clean`` un-ratchets the policy: after that many
+    consecutive iterations with no fault symptoms, a degraded block returns
+    to its preferred (Eq. 1) strategy on probation — re-degrading during
+    the probation window doubles the required clean streak (exponential
+    backoff, handled by the adaptive controller the engine wraps this
+    policy in).  The default ``None`` preserves the historical one-way
+    behaviour exactly.
     """
 
     fallback_strategy: str = "expert-centric"
     degrade_after_fallbacks: int = 1
+    recover_after_clean: Optional[int] = None
 
     def __post_init__(self):
         if self.degrade_after_fallbacks <= 0:
             raise ValueError("degrade_after_fallbacks must be positive")
+        if self.recover_after_clean is not None and self.recover_after_clean <= 0:
+            raise ValueError("recover_after_clean must be positive")
 
     def decide(self, stats: FaultStats) -> Dict[int, str]:
         """Blocks to switch, given one iteration's fault counters."""

@@ -162,6 +162,11 @@ def collect_iteration_metrics(
         if fills:
             registry.inc("cache.fills", fills, machine=machine)
 
+    # Background replica refreshes placed by the adaptive control plane.
+    for machine, syncs in sorted(getattr(ctx, "replica_syncs", {}).items()):
+        if syncs:
+            registry.inc("control.replica_syncs", syncs, machine=machine)
+
     # Fault-layer outcomes, when the resilience machinery ran.
     stats = result.fault_stats
     if stats is not None:

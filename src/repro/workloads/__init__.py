@@ -1,6 +1,8 @@
-"""Synthetic workloads: token batches, corpora and routing distributions."""
+"""Synthetic workloads: token batches, corpora, routing distributions
+and drifting expert-popularity processes."""
 
 from .corpus import SyntheticCorpus
+from .drift import DRIFT_KINDS, DriftSpec, apply_drift, drift_weights
 from .tokens import (
     assignment_imbalance,
     balanced_assignment,
@@ -11,7 +13,11 @@ from .tokens import (
 )
 
 __all__ = [
+    "DRIFT_KINDS",
+    "DriftSpec",
     "SyntheticCorpus",
+    "apply_drift",
+    "drift_weights",
     "assignment_imbalance",
     "balanced_assignment",
     "target_batches",
