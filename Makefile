@@ -5,7 +5,8 @@ PYTHON ?= python
 .PHONY: install test lint bench bench-check bench-write bench-runtime \
 	bench-runtime-check bench-runtime-write bench-schedules \
 	bench-schedules-check bench-schedules-write bench-control \
-	bench-control-check bench-control-write figs profile \
+	bench-control-check bench-control-write bench-serving \
+	bench-serving-check bench-serving-write figs profile \
 	baseline baseline-write coverage chaos reports examples clean
 
 install:
@@ -66,6 +67,20 @@ bench-control-check:
 
 bench-control-write:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite control --write
+
+# Request-level serving benchmark (seeded arrival traces, unified vs
+# disaggregated prefill/decode).  The check gates on calibration-rescaled
+# wall medians AND the structural serving win — disaggregated p99 TPOT
+# must beat unified on the skewed trace; snapshot lives in
+# benchmarks/BENCH_serving.json.
+bench-serving:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite serving
+
+bench-serving-check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite serving --quick --check
+
+bench-serving-write:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --suite serving --write
 
 # cProfile the hottest Fig. 14 config (top 25 by cumulative time).
 profile:

@@ -51,12 +51,14 @@ def run_model(
     machines: int = 4,
     features: str = "full",
     check_memory: bool = True,
+    inference: bool = False,
     **config_overrides,
 ):
     """Simulate one iteration; cached on all arguments.
 
     ``mode`` is "expert-centric", "data-centric" or "unified";
-    ``features`` names an entry of FEATURE_SETS.
+    ``features`` names an entry of FEATURE_SETS.  ``inference=True`` runs
+    the forward-only (serving) pass instead of a training iteration.
     """
     overrides = tuple(sorted(config_overrides.items()))
     config, workload = _workload(model, experts, machines, overrides)
@@ -68,7 +70,7 @@ def run_model(
         features=FEATURE_SETS[features],
         check_memory=check_memory,
     )
-    return engine.run_iteration()
+    return engine.run_inference() if inference else engine.run_iteration()
 
 
 @functools.lru_cache(maxsize=None)

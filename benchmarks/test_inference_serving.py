@@ -1,39 +1,56 @@
-"""§9 extension: forward-only (serving) passes under both paradigms.
+"""§9 extension: forward-only (serving) passes across every strategy.
 
 The paper argues the same communication design applies to inference.  A
 forward-only pass halves the data-centric wire bill (no gradient returns)
-and drops the backward All-to-Alls of the expert-centric baseline; the
-paradigm comparison carries over.
+and drops the backward All-to-Alls of the expert-centric family; the
+paradigm comparison carries over.  Parametrized over the strategy
+registry, so new paradigms join the serving comparison by registering.
 """
 
 import pytest
 
-from engine_cache import write_report
+from engine_cache import run_model, write_report
 from repro.analysis import format_table
-from repro.cluster import Cluster
-from repro.config import moe_gpt
-from repro.core import build_workload, data_centric_engine, expert_centric_engine
+from repro.core import comm_family, strategy_names
+
+STRATEGIES = strategy_names()
 
 
-def run_serving():
-    config = moe_gpt(32)
-    cluster = Cluster(4)
-    workload = build_workload(config, cluster)
-    results = {}
-    for label, factory in (
-        ("expert-centric", expert_centric_engine),
-        ("data-centric", data_centric_engine),
-    ):
-        engine = factory(config, cluster, workload=workload)
-        results[label] = (
-            engine.run_iteration(),
-            engine.run_inference(),
+def _pair(mode):
+    """(training iteration, forward-only pass) — cached across tests."""
+    return (
+        run_model("MoE-GPT", mode),
+        run_model("MoE-GPT", mode, inference=True),
+    )
+
+
+@pytest.mark.parametrize("mode", STRATEGIES)
+def test_forward_pass_cheaper_than_training(mode):
+    training, inference = _pair(mode)
+    # A forward pass is much cheaper than a training iteration (backward
+    # compute is 2x forward plus gradient communication).
+    assert inference.seconds < 0.6 * training.seconds
+
+
+@pytest.mark.parametrize("mode", STRATEGIES)
+def test_forward_wire_bill(mode):
+    training, inference = _pair(mode)
+    moved = inference.nic_egress_bytes.sum()
+    if comm_family(mode) == "data-centric":
+        # Pulls only, no gradient pushes: exactly half the training bill.
+        assert moved == pytest.approx(
+            training.nic_egress_bytes.sum() / 2
         )
-    return results
+    else:
+        # The expert-centric family drops its backward All-to-Alls.
+        assert moved < training.nic_egress_bytes.sum()
 
 
 def test_inference_serving(benchmark):
-    results = benchmark.pedantic(run_serving, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: {mode: _pair(mode) for mode in STRATEGIES},
+        rounds=1, iterations=1,
+    )
 
     rows = []
     for label, (training, inference) in results.items():
@@ -53,16 +70,7 @@ def test_inference_serving(benchmark):
         ),
     )
 
-    for label, (training, inference) in results.items():
-        # A forward pass is much cheaper than a training iteration
-        # (backward compute is 2x forward plus gradient communication).
-        assert inference.seconds < 0.6 * training.seconds
-    ec_train, ec_infer = results["expert-centric"]
-    dc_train, dc_infer = results["data-centric"]
     # Data-centric keeps winning at inference time.
+    ec_infer = results["expert-centric"][1]
+    dc_infer = results["data-centric"][1]
     assert dc_infer.seconds < ec_infer.seconds
-    # And its forward wire bill is exactly half the training bill
-    # (pulls only, no gradient pushes).
-    assert dc_infer.nic_egress_bytes.sum() == pytest.approx(
-        dc_train.nic_egress_bytes.sum() / 2
-    )

@@ -13,6 +13,8 @@ Layers:
 * ``repro.analysis``  — traffic tables and report formatting
 * ``repro.workloads`` — synthetic token batches and routing distributions
 * ``repro.trace``     — span/event tracing of simulated iterations
+* ``repro.serving``   — request-level inference serving (continuous
+  batching, disaggregated prefill/decode, SLO traffic)
 """
 
 from . import (
@@ -24,6 +26,7 @@ from . import (
     models,
     netsim,
     runtime,
+    serving,
     simkit,
     tensorlib,
     trace,
@@ -42,6 +45,7 @@ __all__ = [
     "models",
     "netsim",
     "runtime",
+    "serving",
     "simkit",
     "tensorlib",
     "trace",

@@ -48,6 +48,18 @@ from .control import (
     run_control_suite,
     time_control_config,
 )
+from .serving import (
+    DEFAULT_SERVING_SNAPSHOT_PATH,
+    SERVING_FULL_CONFIGS,
+    SERVING_QUICK_CONFIGS,
+    SERVING_SCHEMA,
+    ServingBenchConfig,
+    check_serving_snapshot,
+    check_serving_wins,
+    format_serving_suite,
+    run_serving_suite,
+    time_serving_config,
+)
 from .runtime_speed import (
     DEFAULT_RUNTIME_SNAPSHOT_PATH,
     RUNTIME_FULL_CONFIGS,
@@ -68,6 +80,7 @@ __all__ = [
     "DEFAULT_CONTROL_SNAPSHOT_PATH",
     "DEFAULT_RUNTIME_SNAPSHOT_PATH",
     "DEFAULT_SCHEDULES_SNAPSHOT_PATH",
+    "DEFAULT_SERVING_SNAPSHOT_PATH",
     "DEFAULT_SNAPSHOT_PATH",
     "FULL_CONFIGS",
     "QUICK_CONFIGS",
@@ -79,24 +92,33 @@ __all__ = [
     "SCHEDULE_QUICK_CONFIGS",
     "SCHEDULES_SCHEMA",
     "SCHEMA",
+    "SERVING_FULL_CONFIGS",
+    "SERVING_QUICK_CONFIGS",
+    "SERVING_SCHEMA",
     "ScheduleBenchConfig",
+    "ServingBenchConfig",
     "calibrate",
     "check_control_snapshot",
     "check_control_wins",
     "check_schedule_wins",
     "check_schedules_snapshot",
+    "check_serving_snapshot",
+    "check_serving_wins",
     "check_snapshot",
     "format_control_suite",
     "format_runtime_suite",
     "format_schedules_suite",
+    "format_serving_suite",
     "format_suite",
     "run_control_suite",
     "run_runtime_suite",
     "run_schedules_suite",
+    "run_serving_suite",
     "run_suite",
     "time_config",
     "time_control_config",
     "time_runtime_config",
     "time_schedule_config",
+    "time_serving_config",
     "write_snapshot",
 ]

@@ -1,0 +1,272 @@
+"""Benchmark of the request-level serving simulator (``--suite serving``).
+
+Replays seeded open-loop traces through :mod:`repro.serving` on both
+topologies and gates on two axes, mirroring the schedules/control suites:
+
+* wall-clock medians against ``benchmarks/BENCH_serving.json`` with the
+  same calibration rescaling as :mod:`repro.bench.speed`, and
+* the **structural serving win**, a pure simulated-time fact: on the
+  skewed-popularity trace the disaggregated prefill/decode topology must
+  beat the unified topology's p99 per-output-token latency.  Unified
+  workers interleave prefills between decode steps, so a decode token
+  occasionally waits behind a whole prompt (head-of-line blocking);
+  dedicated decoders with streamed multi-NIC KV transfer and hot-expert
+  pinning keep that out of the tail.  This ordering holds on any host —
+  a violation means the serving model regressed, not a slow runner.
+
+Every run also re-checks completeness (all offered requests finished)
+and, when the snapshot was captured under the same NumPy version,
+bit-reproducibility of the per-request latency digest.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .speed import calibrate, check_snapshot
+
+SERVING_SCHEMA = "janus-repro/bench-serving/v1"
+
+DEFAULT_SERVING_SNAPSHOT_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "BENCH_serving.json"
+)
+
+# Cluster/model shape shared by every run: the bench-speed MoE-GPT shape
+# on four machines — two prefillers + two decoders when disaggregated.
+_EXPERTS = 32
+_MACHINES = 4
+
+# Seeded arrival traces (request count is filled per config).  The skewed
+# trace is the canonical one: rate 3000/s saturates unified workers hard
+# enough that prefill head-of-line blocking dominates the decode tail,
+# and Zipf-1.2 popularity gives decode-side pinning real hits.
+_TRACES: Dict[str, str] = {
+    "skewed": (
+        "poisson;rate=3000;seed=7;skew=1.2;prompt_mean=128;output_mean=32"
+    ),
+    "uniform": (
+        "poisson;rate=3000;seed=11;prompt_mean=128;output_mean=32"
+    ),
+    "diurnal": (
+        "diurnal;rate=2500;amplitude=0.8;period=4;seed=13;"
+        "prompt_mean=128;output_mean=32;skew=1.2"
+    ),
+    "bursty": (
+        "bursty;rate=2000;burst=4;duty=0.2;seed=17;"
+        "prompt_mean=128;output_mean=32;skew=1.2"
+    ),
+}
+
+
+class ServingBenchConfig(NamedTuple):
+    """One timed serving run: a named trace on one topology."""
+
+    trace: str
+    topology: str
+    requests: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.trace}/{self.topology}"
+
+
+SERVING_FULL_CONFIGS: Tuple[ServingBenchConfig, ...] = (
+    ServingBenchConfig("skewed", "unified", 50_000),
+    ServingBenchConfig("skewed", "disaggregated", 50_000),
+    ServingBenchConfig("uniform", "unified", 20_000),
+    ServingBenchConfig("uniform", "disaggregated", 20_000),
+    ServingBenchConfig("diurnal", "disaggregated", 20_000),
+    ServingBenchConfig("bursty", "unified", 20_000),
+)
+
+# CI smoke subset: the structural pair on a smaller trace.
+SERVING_QUICK_CONFIGS: Tuple[ServingBenchConfig, ...] = (
+    ServingBenchConfig("skewed", "unified", 8_000),
+    ServingBenchConfig("skewed", "disaggregated", 8_000),
+)
+
+
+def _build_run(spec: ServingBenchConfig):
+    from ..cluster import Cluster
+    from ..config import moe_gpt
+    from ..serving import ServingConfig, TraceSpec, generate_trace
+
+    trace_spec = TraceSpec.parse(
+        f"{_TRACES[spec.trace]};requests={spec.requests}"
+    )
+    return (
+        moe_gpt(_EXPERTS),
+        Cluster(_MACHINES),
+        generate_trace(trace_spec),
+        ServingConfig(topology=spec.topology),
+    )
+
+
+def time_serving_config(spec: ServingBenchConfig, runs: int = 1) -> Dict:
+    """Time ``runs`` cold serving runs of one config; report the median.
+
+    Each run regenerates the trace and rebuilds the cluster/fabric, so
+    the sample includes exactly what ``repro serve`` pays.  The simulated
+    facts (latency percentiles, goodput, digest) are bit-identical across
+    runs — the final run's summary is reported.
+    """
+    from ..serving import simulate_serving
+
+    samples: List[float] = []
+    summary: Dict = {}
+    digest = ""
+    completed = False
+    for _ in range(runs):
+        start = time.perf_counter()
+        config, cluster, trace, serving = _build_run(spec)
+        result = simulate_serving(config, cluster, trace, serving)
+        samples.append(time.perf_counter() - start)
+        summary = result.summary()
+        digest = result.digest()
+        # Unserved requests keep the -1.0 sentinel completion stamp.
+        completed = bool((result.complete_s >= 0.0).all())
+    median = statistics.median(samples)
+    events = int(summary.get("sim_events", 0))
+    return {
+        "median_s": median,
+        "best_s": min(samples),
+        "samples": [round(sample, 6) for sample in samples],
+        "events": events,
+        "events_per_s": events / median if median > 0 else 0.0,
+        "requests": summary.get("requests", 0),
+        "completed_ok": completed,
+        "makespan_s": summary.get("makespan_s", 0.0),
+        "ttft_p50_ms": summary.get("ttft_p50_ms", 0.0),
+        "ttft_p99_ms": summary.get("ttft_p99_ms", 0.0),
+        "tpot_p50_ms": summary.get("tpot_p50_ms", 0.0),
+        "tpot_p99_ms": summary.get("tpot_p99_ms", 0.0),
+        "slo_attainment": summary.get("slo_attainment", 0.0),
+        "goodput_rps": summary.get("goodput_rps", 0.0),
+        "nic_gb": summary.get("nic_gb", 0.0),
+        "paradigms": summary.get("paradigms", {}),
+        "digest": digest,
+    }
+
+
+def run_serving_suite(
+    configs: Sequence[ServingBenchConfig] = SERVING_FULL_CONFIGS,
+    runs: int = 1,
+    calibration: Optional[float] = None,
+) -> Dict:
+    """Time every serving config and assemble the capture."""
+    return {
+        "schema": SERVING_SCHEMA,
+        "config": {
+            "model": "MoE-GPT",
+            "experts": _EXPERTS,
+            "machines": _MACHINES,
+            "traces": {
+                spec.trace: f"{_TRACES[spec.trace]};requests={spec.requests}"
+                for spec in configs
+            },
+            "runs": runs,
+        },
+        "calibration_s": calibrate() if calibration is None else calibration,
+        "host": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "runs": {
+            spec.key: time_serving_config(spec, runs=runs)
+            for spec in configs
+        },
+    }
+
+
+def check_serving_wins(current: Dict) -> List[str]:
+    """Structural gate, independent of host speed.
+
+    * disaggregated p99 per-output-token latency beats unified on the
+      skewed trace (the Janus-inference disaggregation claim), and
+    * every run completed all offered requests.
+    """
+    problems = []
+    runs = current.get("runs", {})
+    for key, entry in runs.items():
+        if not entry.get("completed_ok", False):
+            problems.append(f"{key}: not every offered request completed")
+    unified = runs.get("skewed/unified")
+    disagg = runs.get("skewed/disaggregated")
+    if unified is None or disagg is None:
+        return problems + [
+            "capture is missing the skewed unified/disaggregated pair"
+        ]
+    fast = disagg["tpot_p99_ms"]
+    slow = unified["tpot_p99_ms"]
+    if fast >= slow:
+        problems.append(
+            f"skewed/disaggregated: p99 TPOT {fast:.3f} ms does not beat "
+            f"unified ({slow:.3f} ms)"
+        )
+    return problems
+
+
+def check_serving_snapshot(
+    current: Dict, snapshot: Dict, tolerance: float = 0.25
+) -> List[str]:
+    """Wall gate (calibration-rescaled) + structural win + digest pin.
+
+    The per-request latency digest is compared only when the snapshot was
+    captured under the same NumPy version: the arrival sampler leans on
+    ``Generator`` distribution methods whose bit streams NumPy does not
+    freeze across releases.
+    """
+    problems = check_serving_wins(current) + check_snapshot(
+        current, snapshot, tolerance=tolerance
+    )
+    same_numpy = (
+        current.get("host", {}).get("numpy")
+        == snapshot.get("host", {}).get("numpy")
+    )
+    if not same_numpy:
+        return problems
+    snap_runs = snapshot.get("runs", {})
+    for key, entry in current.get("runs", {}).items():
+        pinned = snap_runs.get(key, {}).get("digest")
+        # --quick replays shorter traces under the same keys; digests are
+        # only comparable when the request counts match too.
+        if entry.get("requests") != snap_runs.get(key, {}).get("requests"):
+            continue
+        if pinned and entry.get("digest") != pinned:
+            problems.append(
+                f"{key}: latency digest {entry.get('digest', '')[:12]} != "
+                f"snapshot {pinned[:12]} (simulation no longer "
+                "bit-reproducible)"
+            )
+    return problems
+
+
+def format_serving_suite(current: Dict) -> str:
+    """Human-readable table of a capture."""
+    header = (
+        f"{'config':<22} {'p99 TTFT':>9} {'p99 TPOT':>9} {'SLO':>6} "
+        f"{'goodput':>8} {'wall s':>7} {'events/s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for key, entry in current.get("runs", {}).items():
+        lines.append(
+            f"{key:<22} "
+            f"{entry['ttft_p99_ms']:>7.2f}ms "
+            f"{entry['tpot_p99_ms']:>7.3f}ms "
+            f"{entry['slo_attainment']:>6.1%} "
+            f"{entry['goodput_rps']:>6.0f}/s "
+            f"{entry['median_s']:>7.2f} "
+            f"{entry['events_per_s']:>9.0f}"
+        )
+    lines.append(
+        f"calibration: {current.get('calibration_s', 0.0) * 1e3:.1f} ms"
+    )
+    return "\n".join(lines)

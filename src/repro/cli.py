@@ -13,6 +13,10 @@ Commands:
   trace).
 * ``report``   — run several iterations with full metrics and write the
   machine-readable run report (and optionally a Perfetto-loadable trace).
+* ``serve``    — request-level inference serving: replay a seeded
+  open-loop arrival trace through continuous-batching workers (unified
+  or disaggregated prefill/decode pools) and report TTFT/TPOT
+  percentiles, goodput and SLO attainment.
 * ``chaos``    — sweep pull-loss rates across paradigms and report
   iteration time, retries and stale fallbacks (graceful degradation).
 * ``bench``    — wall-clock benchmarks with regression gates:
@@ -109,6 +113,15 @@ def _control_config(text: str):
 
     try:
         return ControlConfig.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _trace_spec(text: str):
+    from .serving import TraceSpec
+
+    try:
+        return TraceSpec.parse(text)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(str(exc))
 
@@ -333,6 +346,99 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Replay a seeded open-loop request trace through continuous-batching
+    serving workers and print per-topology latency/goodput KPIs."""
+    from dataclasses import asdict
+
+    from .serving import (
+        ServingConfig,
+        build_serving_report,
+        format_serving_summary,
+        generate_trace,
+        simulate_serving,
+    )
+
+    config = _resolve_model(args)
+    cluster = Cluster(args.machines)
+    spec = args.trace
+    trace = generate_trace(spec)
+    topologies = (
+        ("unified", "disaggregated")
+        if args.topology == "both"
+        else (args.topology,)
+    )
+    exporting = args.out is not None or args.trace_out is not None
+    results = []
+    registry = recorder = None
+    for topology in topologies:
+        try:
+            serving = ServingConfig(
+                topology=topology,
+                prefillers=args.prefillers,
+                max_batch=args.max_batch,
+                prefill_batch=args.prefill_batch,
+                pin_fraction=args.pin_fraction,
+                prefill_paradigm=args.prefill_paradigm,
+                decode_paradigm=args.decode_paradigm,
+                ttft_slo_s=args.ttft_slo,
+                tpot_slo_s=args.tpot_slo,
+            )
+        except ValueError as exc:
+            print(f"invalid serving config: {exc}", file=sys.stderr)
+            return 2
+        if exporting:
+            # Fresh lanes per topology: the exported report/trace carry
+            # the last simulated topology's metric dump.
+            registry = MetricsRegistry()
+            recorder = TraceRecorder()
+        try:
+            results.append(simulate_serving(
+                config, cluster, trace, serving,
+                metrics=registry, recorder=recorder,
+            ))
+        except ValueError as exc:
+            # Split/model constraints are only checkable against the
+            # cluster, so they surface from the simulator constructor.
+            print(f"invalid serving config: {exc}", file=sys.stderr)
+            return 2
+        except _SIMULATION_ERRORS as exc:
+            print(f"{config.name} / serve {topology}: {exc}",
+                  file=sys.stderr)
+            return 1
+    print(format_serving_summary(
+        results,
+        title=f"{config.name}: {len(trace)} requests, {spec.kind} arrivals "
+              f"at {spec.rate:.0f}/s (offered {trace.offered_rate:.0f}/s) "
+              f"on {args.machines} machines",
+    ))
+    if args.out is not None:
+        report = build_serving_report(
+            results, registry,
+            model=config.name, machines=args.machines,
+            trace=dict(sorted(asdict(spec).items())),
+        )
+        if args.out == "-":
+            import json
+
+            print(json.dumps(report, indent=1, sort_keys=True))
+        else:
+            import json
+
+            Path(args.out).write_text(
+                json.dumps(report, indent=1, sort_keys=False) + "\n"
+            )
+            print(f"serving report written to {args.out}")
+    if args.trace_out is not None:
+        write_chrome_trace(
+            args.trace_out, recorder, registry,
+            process_name=f"{config.name}/serve-{results[-1].topology}",
+        )
+        print(f"Chrome trace written to {args.trace_out} "
+              "(load in Perfetto / chrome://tracing)")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Loss-rate sweep: the §3.2 less-synchronization claim under fire."""
     config = _resolve_model(args)
@@ -392,13 +498,18 @@ def _bench_capture(args, suite: str):
         RUNTIME_QUICK_CONFIGS,
         SCHEDULE_FULL_CONFIGS,
         SCHEDULE_QUICK_CONFIGS,
+        SERVING_FULL_CONFIGS,
+        SERVING_QUICK_CONFIGS,
+        DEFAULT_SERVING_SNAPSHOT_PATH,
         format_control_suite,
         format_runtime_suite,
         format_schedules_suite,
+        format_serving_suite,
         format_suite,
         run_control_suite,
         run_runtime_suite,
         run_schedules_suite,
+        run_serving_suite,
         run_suite,
     )
 
@@ -420,6 +531,16 @@ def _bench_capture(args, suite: str):
         current = run_schedules_suite(configs, runs=runs)
         print(format_schedules_suite(current))
         return current, DEFAULT_SCHEDULES_SNAPSHOT_PATH
+    if suite == "serving":
+        configs = (
+            SERVING_QUICK_CONFIGS if args.quick else SERVING_FULL_CONFIGS
+        )
+        # One run per config: the simulated facts are bit-identical
+        # across repeats, and the largest trace replays 50k requests.
+        runs = args.runs if args.runs is not None else 1
+        current = run_serving_suite(configs, runs=runs)
+        print(format_serving_suite(current))
+        return current, DEFAULT_SERVING_SNAPSHOT_PATH
     if suite == "sim":
         configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
         runs = args.runs if args.runs is not None else (1 if args.quick else 3)
@@ -449,12 +570,13 @@ def cmd_bench(args) -> int:
     from .bench import (
         check_control_snapshot,
         check_schedules_snapshot,
+        check_serving_snapshot,
         check_snapshot,
         write_snapshot,
     )
 
     suites = (
-        ("sim", "runtime", "schedules", "control")
+        ("sim", "runtime", "schedules", "control", "serving")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -488,6 +610,7 @@ def cmd_bench(args) -> int:
             checker = {
                 "schedules": check_schedules_snapshot,
                 "control": check_control_snapshot,
+                "serving": check_serving_snapshot,
             }.get(suite, check_snapshot)
             problems = checker(current, snapshot, tolerance=args.tolerance)
             snap_dtype = snapshot.get("config", {}).get("dtype")
@@ -670,6 +793,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=cmd_report)
 
+    serve = sub.add_parser(
+        "serve", help="request-level inference serving on a seeded trace"
+    )
+    _add_model_arguments(serve)
+    serve.add_argument(
+        "--trace", type=_trace_spec, metavar="SPEC",
+        default="poisson;rate=2000;requests=10000;seed=7;skew=1.2",
+        help="seeded open-loop arrival trace, e.g. "
+             "'poisson;rate=2000;requests=10000;seed=7;skew=1.2' "
+             "(kinds: poisson, diurnal, bursty; keys: rate, requests, "
+             "seed, prompt_mean, output_mean, skew, period, amplitude, "
+             "burst, duty)",
+    )
+    serve.add_argument(
+        "--topology", choices=("unified", "disaggregated", "both"),
+        default="both",
+        help="unified workers, disaggregated prefiller/decoder pools, or "
+             "both back to back on the same trace",
+    )
+    serve.add_argument(
+        "--prefillers", type=_positive_int, default=None,
+        help="prefill machines in the disaggregated split "
+             "(default: half the machines)",
+    )
+    serve.add_argument("--max-batch", type=_positive_int, default=64,
+                       help="decode continuous-batching cap per worker")
+    serve.add_argument("--prefill-batch", type=_positive_int, default=8,
+                       help="prompts admitted per prefill step")
+    serve.add_argument(
+        "--pin-fraction", type=float, default=0.25,
+        help="fraction of experts pinned on disaggregated decoders "
+             "(pinned-expert tokens skip the decode wire)",
+    )
+    serve.add_argument(
+        "--prefill-paradigm",
+        choices=sorted(strategy_names() + ("auto",)),
+        default="auto",
+        help="comm paradigm for prefill wire traffic ('auto' = Eq. 1 "
+             "byte-volume pick per step)",
+    )
+    serve.add_argument(
+        "--decode-paradigm",
+        choices=sorted(strategy_names() + ("auto",)),
+        default="auto",
+        help="comm paradigm for decode wire traffic",
+    )
+    serve.add_argument("--ttft-slo", type=float, default=0.5,
+                       help="time-to-first-token SLO in seconds")
+    serve.add_argument("--tpot-slo", type=float, default=0.005,
+                       help="per-output-token SLO in seconds")
+    serve.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the serving report JSON here ('-' prints to stdout)",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome-trace/Perfetto JSON of the (last) topology",
+    )
+    serve.set_defaults(func=cmd_serve)
+
     chaos = sub.add_parser(
         "chaos", help="pull-loss sweep across paradigms (resilience report)"
     )
@@ -694,7 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--suite",
                        choices=("sim", "runtime", "schedules", "control",
-                                "all"),
+                                "serving", "all"),
                        default="sim",
                        help="sim = simulator configs (BENCH_speed.json); "
                             "runtime = numerical trainer steps "
@@ -702,7 +885,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "schedules on the mixed-R model "
                             "(BENCH_schedules.json); control = adaptive "
                             "controller vs static paradigms under drift "
-                            "(BENCH_control.json); all = every suite")
+                            "(BENCH_control.json); serving = request-level "
+                            "serving traces on both topologies "
+                            "(BENCH_serving.json); all = every suite")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset (MoE-GPT, 3 paradigms)")
     bench.add_argument("--runs", type=_positive_int, default=None,

@@ -16,6 +16,7 @@ them up by name.
 
 from .base import (
     BlockStrategy,
+    comm_family,
     get_strategy,
     register_strategy,
     resolve_strategy_name,
@@ -38,6 +39,7 @@ __all__ = [
     "ExpertCentricStrategy",
     "MicroBatchExpertCentricStrategy",
     "PipelinedExpertCentricStrategy",
+    "comm_family",
     "get_strategy",
     "register_strategy",
     "resolve_strategy_name",

@@ -33,6 +33,7 @@ __all__ = [
     "get_strategy",
     "strategy_names",
     "resolve_strategy_name",
+    "comm_family",
 ]
 
 
@@ -194,3 +195,22 @@ def resolve_strategy_name(spec) -> str:
         raise ValueError(f"cannot resolve block strategy from {spec!r}")
     get_strategy(name)  # validate
     return name
+
+
+def comm_family(spec) -> str:
+    """The §5.1.3 byte-volume family a strategy moves on the wire.
+
+    Strategies served by the Janus Task Queue pull experts to the data —
+    the *data-centric* volume (``8 H^2 E m (n-1)`` elements); everything
+    else ships tokens to the experts — the *expert-centric* volume
+    (``2 m H T (n-1)/n``).  Pipelining and micro-batching reschedule when
+    bytes move, not how many, so every registered expert-centric variant
+    maps to the same family.  Consumers (e.g. the serving simulator's
+    per-phase traffic model) size wire transfers from this.
+    """
+    name = resolve_strategy_name(spec)
+    return (
+        "data-centric"
+        if get_strategy(name).uses_task_queue
+        else "expert-centric"
+    )

@@ -18,6 +18,7 @@ from .collect import (
     comm_busy_time,
     compute_busy_time,
     overlap_efficiency,
+    serving_breakdown,
     task_kind_breakdown,
 )
 from .registry import DEFAULT_BUCKETS, Histogram, MetricsRegistry
@@ -40,6 +41,7 @@ __all__ = [
     "compute_busy_time",
     "iteration_summary",
     "overlap_efficiency",
+    "serving_breakdown",
     "task_kind_breakdown",
     "write_chrome_trace",
     "write_run_report",

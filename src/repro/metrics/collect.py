@@ -26,6 +26,7 @@ __all__ = [
     "comm_busy_time",
     "compute_busy_time",
     "task_kind_breakdown",
+    "serving_breakdown",
     "collect_iteration_metrics",
 ]
 
@@ -79,6 +80,45 @@ def task_kind_breakdown(
             )
             entry[field] = value
     return dict(sorted(breakdown.items()))
+
+
+def serving_breakdown(registry: MetricsRegistry) -> Dict[str, Dict]:
+    """Fold the ``serve.*`` lanes into one report section.
+
+    The serving simulator counts requests/steps/tokens/bytes (labelled by
+    phase or kind) and observes TTFT / per-output-token / end-to-end
+    latency plus decode batch-size histograms.  Counters fold per label
+    value; histograms contribute count/mean/min/max.  Empty when the run
+    never served, so training-only reports are unchanged.
+    """
+    breakdown: Dict[str, Dict] = {}
+    for metric in ("serve.requests", "serve.steps",
+                   "serve.tokens", "serve.bytes"):
+        series = registry.series(metric)
+        if not series:
+            continue
+        breakdown[metric.split(".", 1)[1]] = {
+            "/".join(str(value) for _, value in key) or "total": total
+            for key, total in sorted(
+                series.items(), key=lambda item: str(item[0])
+            )
+        }
+    histograms = {
+        name.split(".", 1)[1]: {
+            labels or "all": {
+                "count": stats["count"],
+                "mean": stats["mean"],
+                "min": stats["min"],
+                "max": stats["max"],
+            }
+            for labels, stats in series.items()
+        }
+        for name, series in registry.as_dict()["histograms"].items()
+        if name.startswith("serve.")
+    }
+    if histograms:
+        breakdown["histograms"] = histograms
+    return breakdown
 
 
 def collect_iteration_metrics(

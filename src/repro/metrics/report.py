@@ -15,6 +15,7 @@ from .collect import (
     comm_busy_time,
     compute_busy_time,
     overlap_efficiency,
+    serving_breakdown,
     task_kind_breakdown,
 )
 from .registry import MetricsRegistry
@@ -75,6 +76,9 @@ def build_run_report(
         tasks = task_kind_breakdown(registry)
         if tasks:
             report["tasks"] = tasks
+        serving = serving_breakdown(registry)
+        if serving:
+            report["serving"] = serving
     return report
 
 

@@ -545,10 +545,21 @@ class FluidNetwork:
             if moving.size:
                 etas = remaining[moving] / rates[moving]
                 candidate = int(moving[int(etas.argmin())])
+                # The relative band covers drift on large flows; the ETA
+                # clause covers small ones, where ``remaining -= rate*dt``
+                # cancellation leaves ~rate*ulp(now) bytes — more than any
+                # relative tolerance of a few-hundred-byte flow, yet with
+                # a completion time below the clock's float resolution
+                # (``now + eta == now``).  A timer for such a flow can
+                # never advance the clock, so finishing is the only
+                # faithful move; anything with a representable ETA still
+                # recomputes and re-arms.
+                now = self.env.now
+                eta = float(etas.min())
                 within_residue = (
                     remaining[candidate]
                     <= _FORCE_FINISH_REL * sizes[candidate] + _EPSILON
-                )
+                ) or now + eta <= now
                 if within_residue:
                     finished_mask[candidate] = True
                 else:

@@ -222,3 +222,86 @@ class TestGraphCommand:
         assert "task graph OK" in out
         assert f"written to {dot_path}" in out
         assert dot_path.read_text().startswith("digraph taskgraph")
+
+
+class TestServeCommand:
+    TINY = "poisson;rate=500;requests=80;seed=3;prompt_mean=16;output_mean=8"
+    SMALL = ["--model", "moe-gpt", "--experts", "16", "--machines", "2",
+             "--batch-size", "8"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.topology == "both"
+        assert args.max_batch == 64
+        assert args.prefill_batch == 8
+        assert args.pin_fraction == 0.25
+        # The default trace string is parsed into a TraceSpec by argparse.
+        assert args.trace.kind == "poisson"
+        assert args.trace.rate == 2000.0
+        assert args.trace.requests == 10000
+
+    def test_serve_rejects_malformed_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--trace", "warp;rate=1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--trace", "poisson;rate=-5"])
+
+    def test_serve_topology_and_paradigm_choices(self):
+        args = build_parser().parse_args(
+            ["serve", "--topology", "unified",
+             "--decode-paradigm", "expert-centric"]
+        )
+        assert args.topology == "unified"
+        assert args.decode_paradigm == "expert-centric"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--topology", "sharded"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--decode-paradigm", "magic"])
+
+    def test_serve_runs_both_topologies(self, capsys):
+        assert main(["serve", *self.SMALL, "--trace", self.TINY]) == 0
+        out = capsys.readouterr().out
+        assert "80 requests" in out
+        assert "unified" in out and "disaggregated" in out
+
+    def test_serve_report_to_stdout(self, capsys):
+        import json
+
+        assert main([
+            "serve", *self.SMALL, "--trace", self.TINY,
+            "--topology", "unified", "--out", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        assert report["schema"] == "janus-repro/serve-report/v1"
+        assert set(report["topologies"]) == {"unified"}
+        assert report["run"]["trace"]["requests"] == 80
+
+    def test_serve_writes_report_and_trace_files(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "serve.json"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "serve", *self.SMALL, "--trace", self.TINY,
+            "--out", str(report_path), "--trace-out", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serving report written" in out
+        assert "Chrome trace written" in out
+        report = json.loads(report_path.read_text())
+        assert set(report["topologies"]) == {"unified", "disaggregated"}
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"]
+
+    def test_serve_invalid_split_exits_2(self, capsys):
+        # Two machines, two prefillers: no decoder left.
+        assert main([
+            "serve", *self.SMALL, "--trace", self.TINY,
+            "--topology", "disaggregated", "--prefillers", "2",
+        ]) == 2
+        assert "invalid serving config" in capsys.readouterr().err
+
+    def test_bench_accepts_serving_suite(self):
+        args = build_parser().parse_args(["bench", "--suite", "serving"])
+        assert args.suite == "serving"
