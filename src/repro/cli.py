@@ -219,7 +219,7 @@ def cmd_simulate(args) -> int:
     profiler = None
     try:
         engine = engine_for(args.paradigm, config, cluster, **kwargs)
-        if args.profile:
+        if args.profile or args.profile_out is not None:
             import cProfile
 
             profiler = cProfile.Profile()
@@ -240,8 +240,12 @@ def cmd_simulate(args) -> int:
     if profiler is not None:
         import pstats
 
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.sort_stats("cumulative").print_stats(25)
+        if args.profile_out is not None:
+            profiler.dump_stats(args.profile_out)
+            print(f"profile stats written to {args.profile_out}")
+        if args.profile:
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(25)
     if args.metrics_out is not None:
         report = build_run_report(
             results, registry,
@@ -490,12 +494,15 @@ def _bench_capture(args, suite: str):
         CONTROL_QUICK_CONFIGS,
         DEFAULT_CONTROL_SNAPSHOT_PATH,
         DEFAULT_RUNTIME_SNAPSHOT_PATH,
+        DEFAULT_SCALE_SNAPSHOT_PATH,
         DEFAULT_SCHEDULES_SNAPSHOT_PATH,
         DEFAULT_SNAPSHOT_PATH,
         FULL_CONFIGS,
         QUICK_CONFIGS,
         RUNTIME_FULL_CONFIGS,
         RUNTIME_QUICK_CONFIGS,
+        SCALE_FULL_CONFIGS,
+        SCALE_QUICK_CONFIGS,
         SCHEDULE_FULL_CONFIGS,
         SCHEDULE_QUICK_CONFIGS,
         SERVING_FULL_CONFIGS,
@@ -503,11 +510,13 @@ def _bench_capture(args, suite: str):
         DEFAULT_SERVING_SNAPSHOT_PATH,
         format_control_suite,
         format_runtime_suite,
+        format_scale_suite,
         format_schedules_suite,
         format_serving_suite,
         format_suite,
         run_control_suite,
         run_runtime_suite,
+        run_scale_suite,
         run_schedules_suite,
         run_serving_suite,
         run_suite,
@@ -541,6 +550,14 @@ def _bench_capture(args, suite: str):
         current = run_serving_suite(configs, runs=runs)
         print(format_serving_suite(current))
         return current, DEFAULT_SERVING_SNAPSHOT_PATH
+    if suite == "scale":
+        configs = SCALE_QUICK_CONFIGS if args.quick else SCALE_FULL_CONFIGS
+        # Per-config sample counts (small points triple-sample, the
+        # 128-machine point is its own noise floor) unless overridden.
+        runs = args.runs if args.runs is not None else 0
+        current = run_scale_suite(configs, runs=runs)
+        print(format_scale_suite(current))
+        return current, DEFAULT_SCALE_SNAPSHOT_PATH
     if suite == "sim":
         configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
         runs = args.runs if args.runs is not None else (1 if args.quick else 3)
@@ -569,6 +586,7 @@ def cmd_bench(args) -> int:
 
     from .bench import (
         check_control_snapshot,
+        check_scale_snapshot,
         check_schedules_snapshot,
         check_serving_snapshot,
         check_snapshot,
@@ -576,7 +594,7 @@ def cmd_bench(args) -> int:
     )
 
     suites = (
-        ("sim", "runtime", "schedules", "control", "serving")
+        ("sim", "runtime", "schedules", "control", "serving", "scale")
         if args.suite == "all"
         else (args.suite,)
     )
@@ -611,6 +629,7 @@ def cmd_bench(args) -> int:
                 "schedules": check_schedules_snapshot,
                 "control": check_control_snapshot,
                 "serving": check_serving_snapshot,
+                "scale": check_scale_snapshot,
             }.get(suite, check_snapshot)
             problems = checker(current, snapshot, tolerance=args.tolerance)
             snap_dtype = snapshot.get("config", {}).get("dtype")
@@ -762,6 +781,11 @@ def build_parser() -> argparse.ArgumentParser:
              "cumulative time (hot-path work starts from data)",
     )
     simulate.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="dump the raw cProfile stats here (implies --profile; load "
+             "with pstats.Stats(PATH) or snakeviz for offline analysis)",
+    )
+    simulate.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the machine-readable run report (JSON) here",
     )
@@ -877,7 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--suite",
                        choices=("sim", "runtime", "schedules", "control",
-                                "serving", "all"),
+                                "serving", "scale", "all"),
                        default="sim",
                        help="sim = simulator configs (BENCH_speed.json); "
                             "runtime = numerical trainer steps "
@@ -887,7 +911,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "controller vs static paradigms under drift "
                             "(BENCH_control.json); serving = request-level "
                             "serving traces on both topologies "
-                            "(BENCH_serving.json); all = every suite")
+                            "(BENCH_serving.json); scale = weak-scaling "
+                            "sweep 8-128 machines (BENCH_scale.json); "
+                            "all = every suite")
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke subset (MoE-GPT, 3 paradigms)")
     bench.add_argument("--runs", type=_positive_int, default=None,

@@ -1,0 +1,306 @@
+"""Compiled water-filling kernel (optional, bit-identical).
+
+The progressive-filling loop in :mod:`repro.netsim.fluid` is inherently
+sequential — each round fixes one bottleneck link and updates the
+residual capacity and load of the links its flows cross — so it cannot
+be vectorized across rounds.  At fleet scale (128 machines) a solve runs
+hundreds of rounds and the per-round numpy-call overhead dominates the
+whole simulation.  This module compiles the identical loop to native
+code at first use (plain ``cc -O2 -ffp-contract=off``, no third-party
+build system) and binds it through :mod:`ctypes`.
+
+Bit-identity with the pure-python loop is a hard requirement (the golden
+tests and ``baseline --tolerance 0`` pin simulated times exactly), so
+the C code reproduces the float semantics operation for operation:
+
+* shares are ``residual / load`` where ``load > 0`` else ``+inf`` — the
+  same single IEEE-754 division numpy performs;
+* the bottleneck is the *first* index achieving the minimal share
+  (numpy ``argmin`` tie-break).  The kernel keeps a lazy-invalidation
+  binary heap ordered by ``(share, link index)``; lexicographic order on
+  that pair is exactly "lowest index among minimal shares".  A NaN share
+  maps to a ``-inf`` heap key, matching ``argmin``'s "first NaN wins"
+  rule, and then terminates the loop through the same ``isfinite``
+  check;
+* per-link crossing counts accumulate in selected-group order (the
+  order ``np.bincount`` adds its weights), and the residual/load update
+  computes ``residual - (share * count)`` as two separate operations —
+  ``-ffp-contract=off`` forbids the compiler from fusing them into an
+  FMA, which would round differently;
+* links untouched by a round keep their residual/load words bitwise
+  unchanged, so recomputing their share next round is the same division
+  of the same operands — the heap can therefore skip them entirely.
+
+If no C compiler is available (or ``REPRO_WATERFILL=python`` is set)
+the callers fall back to the pure-python loops; nothing else changes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* 16-byte heap entry: share key + link index.  Lexicographic order on
+   (key, idx) == "lowest link index among minimal shares" == the numpy
+   argmin tie-break the pure-python loop relies on. */
+typedef struct { double key; int64_t idx; } entry;
+
+static int entry_lt(entry a, entry b) {
+    return a.key < b.key || (a.key == b.key && a.idx < b.idx);
+}
+
+static void heap_push(entry *h, int64_t *len, entry e) {
+    int64_t i = (*len)++;
+    h[i] = e;
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (entry_lt(h[i], h[p])) {
+            entry t = h[p]; h[p] = h[i]; h[i] = t;
+            i = p;
+        } else {
+            break;
+        }
+    }
+}
+
+static entry heap_pop(entry *h, int64_t *len) {
+    entry top = h[0];
+    int64_t n = --(*len);
+    h[0] = h[n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1, r = l + 1, m = i;
+        if (l < n && entry_lt(h[l], h[m])) m = l;
+        if (r < n && entry_lt(h[r], h[m])) m = r;
+        if (m == i) break;
+        entry t = h[m]; h[m] = h[i]; h[i] = t;
+        i = m;
+    }
+    return top;
+}
+
+static double share_of(double residual, double load) {
+    return load > 0.0 ? residual / load : INFINITY;
+}
+
+/* NaN sorts below everything: numpy argmin returns the first NaN. */
+static double key_of(double share) {
+    return isnan(share) ? -INFINITY : share;
+}
+
+int64_t waterfill(
+    int64_t nl, int64_t ng,
+    double *residual,            /* [nl] capacities, clobbered */
+    double *load,                /* [nl] crossing-flow counts, clobbered */
+    const int64_t *gpaths,       /* [ng*2] link ids per group, -1 = none */
+    const double *gcountf,       /* [ng] flow multiplicity per group */
+    const int64_t *sorted_groups,/* CSR payload: groups sorted by link */
+    const int64_t *starts,       /* [nl+1] CSR row starts */
+    double *grates,              /* [ng] out, pre-zeroed */
+    int64_t unfixed_flows,
+    /* caller-provided scratch */
+    double *keys,                /* [nl] */
+    unsigned char *fixed_link,   /* [nl] zeroed */
+    unsigned char *gunfixed,     /* [ng] set to 1 */
+    double *counts,              /* [nl] zeroed */
+    int64_t *touched,            /* [2*ng + 2] */
+    entry *heap                  /* [nl + 2*ng + 4] */
+) {
+    int64_t heap_len = 0;
+    int64_t rounds = 0;
+    for (int64_t i = 0; i < nl; i++) {
+        double k = key_of(share_of(residual[i], load[i]));
+        keys[i] = k;
+        entry e; e.key = k; e.idx = i;
+        heap_push(heap, &heap_len, e);
+    }
+    while (1) {
+        int64_t bottleneck = -1;
+        while (heap_len > 0) {
+            entry e = heap_pop(heap, &heap_len);
+            if (fixed_link[e.idx]) continue;       /* fixed in a past round */
+            if (e.key != keys[e.idx]) continue;    /* stale entry */
+            bottleneck = e.idx;
+            break;
+        }
+        if (bottleneck < 0) break;                 /* every link fixed */
+        double share = share_of(residual[bottleneck], load[bottleneck]);
+        if (!isfinite(share)) break;
+        if (0.0 > share) share = 0.0;              /* == max(share, 0.0) */
+        int64_t ntouched = 0;
+        int64_t fixed_count = 0;
+        int64_t any = 0;
+        for (int64_t k = starts[bottleneck]; k < starts[bottleneck + 1];
+             k++) {
+            int64_t g = sorted_groups[k];
+            if (!gunfixed[g]) continue;
+            any = 1;
+            grates[g] = share;
+            gunfixed[g] = 0;
+            double w = gcountf[g];
+            fixed_count += (int64_t) w;
+            for (int64_t c = 0; c < 2; c++) {
+                int64_t link = gpaths[2 * g + c];
+                if (link < 0) continue;
+                if (counts[link] == 0.0) touched[ntouched++] = link;
+                counts[link] += w;
+            }
+        }
+        if (!any) break;
+        for (int64_t t = 0; t < ntouched; t++) {
+            int64_t link = touched[t];
+            double c = counts[link];
+            counts[link] = 0.0;
+            /* Two rounded ops, exactly like numpy's
+               "residual -= share * counts": no FMA (-ffp-contract=off). */
+            double sub = share * c;
+            residual[link] = residual[link] - sub;
+            load[link] = load[link] - c;
+            if (link == bottleneck) continue;      /* pinned to 0 below */
+            double k = key_of(share_of(residual[link], load[link]));
+            keys[link] = k;
+            entry e; e.key = k; e.idx = link;
+            heap_push(heap, &heap_len, e);
+        }
+        residual[bottleneck] = 0.0;
+        load[bottleneck] = 0.0;
+        fixed_link[bottleneck] = 1;
+        unfixed_flows -= fixed_count;
+        rounds++;
+        if (unfixed_flows <= 0) break;
+    }
+    return rounds;
+}
+"""
+
+# src/repro/netsim/_waterfill.py -> repo root / build / waterfill
+_BUILD_DIR = Path(__file__).resolve().parents[3] / "build" / "waterfill"
+
+_kernel: Optional[ctypes.CDLL] = None
+_kernel_probed = False
+
+
+def _compile() -> Optional[ctypes.CDLL]:
+    """Compile the kernel into the repo build dir; None on any failure."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    lib_path = _BUILD_DIR / f"waterfill_{digest}.so"
+    try:
+        if not lib_path.exists():
+            _BUILD_DIR.mkdir(parents=True, exist_ok=True)
+            src_path = _BUILD_DIR / f"waterfill_{digest}.c"
+            src_path.write_text(_C_SOURCE)
+            tmp_path = lib_path.with_suffix(f".tmp{os.getpid()}.so")
+            subprocess.run(
+                [
+                    os.environ.get("CC", "cc"),
+                    "-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                    "-o", str(tmp_path), str(src_path), "-lm",
+                ],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, lib_path)  # atomic vs concurrent builds
+        lib = ctypes.CDLL(str(lib_path))
+    except Exception:
+        return None
+    fn = lib.waterfill
+    fn.restype = ctypes.c_int64
+    fn.argtypes = (
+        [ctypes.c_int64, ctypes.c_int64]
+        + [ctypes.c_void_p] * 7
+        + [ctypes.c_int64]
+        + [ctypes.c_void_p] * 6
+    )
+    return lib
+
+
+def kernel() -> Optional[ctypes.CDLL]:
+    """The compiled kernel, or None (no compiler / opted out)."""
+    global _kernel, _kernel_probed
+    if not _kernel_probed:
+        _kernel_probed = True
+        if os.environ.get("REPRO_WATERFILL", "").lower() not in (
+            "python", "off", "0",
+        ):
+            _kernel = _compile()
+    return _kernel
+
+
+class Scratch:
+    """Reusable kernel work buffers, sized with geometric headroom.
+
+    A solve runs thousands of times per iteration at fleet scale;
+    allocating multi-hundred-KB scratch arrays per call costs more in
+    page faults than the filling loop itself.  One Scratch instance is
+    kept per network and regrown only when the link/group tables do.
+    ``counts`` is zero between calls by construction: the kernel zeroes
+    every touched slot before any of its exit paths.
+    """
+
+    def __init__(self, num_links: int, num_groups: int):
+        nl = num_links * 3 // 2 + 64
+        ng = num_groups * 3 // 2 + 64
+        self.nl = nl
+        self.ng = ng
+        self.residual = np.empty(nl)
+        self.load = np.empty(nl)
+        self.keys = np.empty(nl)
+        self.fixed = np.empty(nl, dtype=np.uint8)
+        self.counts = np.zeros(nl)
+        self.gcountf = np.empty(ng)
+        self.gunfixed = np.empty(ng, dtype=np.uint8)
+        self.touched = np.empty(2 * ng + 2, dtype=np.int64)
+        self.heap = np.empty(2 * (nl + 2 * ng + 4))  # (double, int64) pairs
+
+    def fits(self, num_links: int, num_groups: int) -> bool:
+        return num_links <= self.nl and num_groups <= self.ng
+
+
+def run(
+    lib: ctypes.CDLL,
+    scratch: Scratch,
+    capacity: np.ndarray,
+    load_counts: np.ndarray,
+    gpaths: np.ndarray,
+    gcount: np.ndarray,
+    sorted_groups: np.ndarray,
+    starts: np.ndarray,
+    grates: np.ndarray,
+    unfixed_flows: int,
+) -> int:
+    """Invoke the compiled filling loop; mutates ``grates`` in place."""
+    nl = capacity.shape[0]
+    ng = grates.shape[0]
+    residual = scratch.residual[:nl]
+    np.copyto(residual, capacity)
+    load = scratch.load[:nl]
+    np.copyto(load, load_counts, casting="unsafe")  # int64 -> float64
+    gcountf = scratch.gcountf[:ng]
+    np.copyto(gcountf, gcount, casting="unsafe")
+    scratch.fixed[:nl] = 0
+    scratch.gunfixed[:ng] = 1
+
+    def ptr(array: np.ndarray) -> ctypes.c_void_p:
+        return ctypes.c_void_p(array.ctypes.data)
+
+    return int(
+        lib.waterfill(
+            nl, ng,
+            ptr(residual), ptr(load), ptr(gpaths), ptr(gcountf),
+            ptr(sorted_groups), ptr(starts), ptr(grates),
+            int(unfixed_flows),
+            ptr(scratch.keys), ptr(scratch.fixed), ptr(scratch.gunfixed),
+            ptr(scratch.counts), ptr(scratch.touched), ptr(scratch.heap),
+        )
+    )

@@ -20,7 +20,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..cluster import Device, LinkId
+from ..cluster import Device
 from ..simkit import AllOf, Event
 from .fabric import Fabric
 
@@ -100,15 +100,15 @@ def all_to_all(
                     continue
                 per_nic = total / num_nics
                 for nic in range(num_nics):
-                    path = (
-                        LinkId("nic", src_machine, nic, "out"),
-                        LinkId("nic", dst_machine, nic, "in"),
+                    path, latency, path_index = fabric.nic_route(
+                        src_machine, dst_machine, nic
                     )
                     flow = fabric.network.transfer(
                         path,
                         per_nic,
-                        latency=fabric.path_latency(path),
+                        latency=latency,
                         tag=("a2a-inter", src_machine, dst_machine, nic),
+                        path_index=path_index,
                     )
                     done_events.append(flow.done)
     else:
@@ -180,15 +180,15 @@ def all_reduce(
             for machine in range(n):
                 dst_machine = (machine + 1) % n
                 for nic in range(num_nics):
-                    path = (
-                        LinkId("nic", machine, nic, "out"),
-                        LinkId("nic", dst_machine, nic, "in"),
+                    path, latency, path_index = fabric.nic_route(
+                        machine, dst_machine, nic
                     )
                     flow = fabric.network.transfer(
                         path,
                         per_nic,
-                        latency=fabric.path_latency(path),
+                        latency=latency,
                         tag=("ar-inter", machine, dst_machine, nic),
+                        path_index=path_index,
                     )
                     done_events.append(flow.done)
     else:

@@ -30,6 +30,22 @@ solver reruns on every flow arrival/departure):
   a fresh global recompute (same float operations in the same order),
   which the golden-metrics battery and a hypothesis property test pin
   down.
+* Coalescing (default, ``coalesce=True``): the path group acts as a
+  macro-flow and the packed member rows are its byte ledger.  Finishing
+  members are *tombstoned* (rate zeroed, live bit cleared, group count and
+  link loads decremented) in O(finished) instead of compacting the whole
+  ledger per completion event, and the arrays are compacted only when at
+  least half the rows are dead (amortized O(1) per flow).  The solver
+  additionally restricts each filling pass to links with at least one
+  crossing flow.  Both shortcuts are bit-identical to the uncoalesced
+  path (``coalesce=False`` keeps it alive for the property battery):
+  tombstoned rows have rate exactly 0 so they move no bytes and touch no
+  link counters, compaction only relocates rows, and inactive links can
+  never be the bottleneck of a filling round.
+* Rate recomputation is deferred to the end of the simulated instant
+  (``Environment.defer_to_instant_end``): a burst of arrivals/finishes at
+  one timestamp — spread over any number of kernel events — triggers one
+  water-filling pass for the whole cohort, not one per event.
 """
 
 from __future__ import annotations
@@ -39,7 +55,15 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from . import _waterfill
 from ..simkit import Environment, Event
+
+# Memoized-solve cache ceiling in bytes of cached rate arrays; entries
+# are also capped at 4096.  Hitting either bound evicts the whole cache
+# (and recycles the arrays) rather than tracking LRU order — signatures
+# either recur constantly (steady state: the cache never fills) or
+# almost never (fleet-scale churn: nothing is worth keeping).
+_SOLVE_CACHE_BUDGET = 64 << 20
 
 __all__ = ["Flow", "FluidNetwork"]
 
@@ -149,8 +173,13 @@ class _LinkBytesView:
 class FluidNetwork:
     """Max-min fair bandwidth sharing over a set of directed links."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, coalesce: bool = True):
         self.env = env
+        # Coalesced mode (default) tombstones finished ledger rows and
+        # water-fills over active links only; ``coalesce=False`` keeps the
+        # eager row-compaction/dense-solve path alive as the bit-identical
+        # reference for the equivalence property battery.
+        self.coalesce = coalesce
         self._index: Dict[Hashable, int] = {}
         # Per-link arrays; only the first _num_links entries are valid.
         self._capacity = np.zeros(0)
@@ -165,6 +194,12 @@ class FluidNetwork:
         self._rates = np.zeros(0)
         self._sizes = np.zeros(0)
         self._gids = np.zeros(0, dtype=np.int64)
+        # Tombstone ledger (coalesced mode): _live marks rows whose flow is
+        # still in flight; _active carries None at dead rows so row indices
+        # stay aligned until the next compaction.
+        self._live = np.zeros(0, dtype=bool)
+        self._live_count = 0
+        self._dead_count = 0
         self._n = 0
         # Path groups: flows with identical path share a group; the solver
         # runs over groups with multiplicities.  Groups are never deleted.
@@ -174,8 +209,17 @@ class FluidNetwork:
         self._num_groups = 0
         # Memoized solves keyed by (capacity epoch, trimmed group-count
         # signature): flow populations recur, so identical signatures are
-        # common across non-consecutive recomputes.
+        # common across non-consecutive recomputes.  The cache is bounded
+        # by entry count and by bytes (fleet-scale rate arrays run to
+        # hundreds of KB each); evicted arrays are recycled through
+        # ``_grates_pool`` so solves write into warm pages.
         self._solve_cache: Dict[Tuple[int, bytes], np.ndarray] = {}
+        self._solve_cache_bytes = 0
+        self._grates_pool: List[np.ndarray] = []
+        # Highest group id that ever held a flow: upper bound for the
+        # populated-signature width (avoids an O(groups) nonzero scan on
+        # every recompute instant).
+        self._gid_hi = -1
         # Resolved link-id tuples -> packed index tuples (routes repeat).
         self._path_cache: Dict[Tuple[Hashable, ...], Tuple[int, ...]] = {}
         # link -> crossing-groups CSR adjacency; both the group table and
@@ -185,6 +229,8 @@ class FluidNetwork:
         self._csr_gvalid: Optional[np.ndarray] = None
         self._csr_rowsum: Optional[np.ndarray] = None
         self._csr_shape = (-1, -1)
+        # Reusable work buffers for the compiled solver (see _waterfill).
+        self._solve_scratch: Optional[_waterfill.Scratch] = None
         self._last_update = env.now
         self._generation = 0
         self._recompute_pending = False
@@ -239,21 +285,20 @@ class FluidNetwork:
 
     @property
     def active_flows(self) -> List[Flow]:
+        if self._dead_count:
+            return [flow for flow in self._active if flow is not None]
         return list(self._active)
 
     # -- transfers ----------------------------------------------------------
 
-    def transfer(
-        self,
-        path: Iterable[Hashable],
-        size: float,
-        latency: float = 0.0,
-        tag: Optional[Hashable] = None,
-    ) -> Flow:
-        """Start a transfer of ``size`` bytes over ``path``.
+    def resolve_path(
+        self, path: Iterable[Hashable]
+    ) -> Tuple[Tuple[Hashable, ...], Tuple[int, ...]]:
+        """Intern ``path`` and return ``(path tuple, packed index tuple)``.
 
-        Returns the :class:`Flow`; wait on ``flow.done`` for completion.
-        Zero-size transfers and empty paths complete after ``latency`` only.
+        Callers that issue many transfers over the same route (the fabric,
+        the collectives) resolve once and pass ``path_index`` to
+        :meth:`transfer`, skipping the per-call cache lookup.
         """
         path = tuple(path)
         path_index = self._path_cache.get(path)
@@ -267,18 +312,39 @@ class FluidNetwork:
                     f"paths are at most two links, got {len(path_index)}"
                 )
             self._path_cache[path] = path_index
+        return path, path_index
+
+    def transfer(
+        self,
+        path: Iterable[Hashable],
+        size: float,
+        latency: float = 0.0,
+        tag: Optional[Hashable] = None,
+        path_index: Optional[Tuple[int, ...]] = None,
+    ) -> Flow:
+        """Start a transfer of ``size`` bytes over ``path``.
+
+        Returns the :class:`Flow`; wait on ``flow.done`` for completion.
+        Zero-size transfers and empty paths complete after ``latency`` only.
+        ``path_index`` is the pre-resolved result of :meth:`resolve_path`;
+        when given, ``path`` must already be the interned tuple.
+        """
+        if path_index is None:
+            path, path_index = self.resolve_path(path)
         if size < 0:
             raise ValueError(f"size must be non-negative, got {size}")
         flow = Flow(self.env, path, path_index, size, latency, tag=tag)
         if latency > 0:
-            self.env.process(self._activate_after(flow, latency))
+            # The latency stage is a plain timer callback, not a Process:
+            # at fleet scale every point-to-point flow passes through here.
+            timer = self.env.timeout(latency, value=flow)
+            timer.callbacks.append(self._activate_event)
         else:
             self._activate(flow)
         return flow
 
-    def _activate_after(self, flow: Flow, delay: float):
-        yield self.env.timeout(delay)
-        self._activate(flow)
+    def _activate_event(self, event) -> None:
+        self._activate(event._value)
 
     def _activate(self, flow: Flow) -> None:
         flow.started_at = self.env.now
@@ -297,11 +363,12 @@ class FluidNetwork:
         row = self._n
         if row == self._remaining.shape[0]:
             grown = max(32, 2 * row)
-            self._paths = _grow_rows(self._paths, grown)
+            self._paths = _grow(self._paths, grown, fill=-1)
             self._remaining = _grow(self._remaining, grown)
             self._rates = _grow(self._rates, grown)
             self._sizes = _grow(self._sizes, grown)
             self._gids = _grow(self._gids, grown)
+            self._live = _grow(self._live, grown)
         path_index = flow.path_index
         self._paths[row] = -1
         self._paths[row, : len(path_index)] = path_index
@@ -313,8 +380,12 @@ class FluidNetwork:
             gid = self._intern_group(path_index)
         self._gids[row] = gid
         self._group_count[gid] += 1
+        if gid > self._gid_hi:
+            self._gid_hi = gid
         for index in path_index:
             self._load_counts[index] += 1
+        self._live[row] = True
+        self._live_count += 1
         self._n = row + 1
         self._active.append(flow)
         flow._net = self
@@ -324,7 +395,7 @@ class FluidNetwork:
         gid = self._num_groups
         if gid == self._group_count.shape[0]:
             grown = max(16, 2 * gid)
-            self._group_paths = _grow_rows(self._group_paths, grown)
+            self._group_paths = _grow(self._group_paths, grown, fill=-1)
             self._group_count = _grow(self._group_count, grown)
         self._group_paths[gid] = -1
         self._group_paths[gid, : len(path_index)] = path_index
@@ -334,7 +405,13 @@ class FluidNetwork:
         return gid
 
     def _remove_rows(self, finished_mask: np.ndarray) -> List[Flow]:
-        """Drop the masked rows (order-preserving) and return their flows."""
+        """Retire the masked rows and return their flows.
+
+        Coalesced mode tombstones in O(finished); the uncoalesced
+        reference compacts the ledger eagerly (O(active) per call).
+        """
+        if self.coalesce:
+            return self._retire_rows(finished_mask)
         n = self._n
         keep = ~finished_mask
         finished: List[Flow] = []
@@ -356,21 +433,70 @@ class FluidNetwork:
             kept[row]._row = row
         self._active = kept
         self._n = k
+        self._live_count = k
         return finished
+
+    def _retire_rows(self, finished_mask: np.ndarray) -> List[Flow]:
+        """Tombstone the masked rows: zero their rate, clear their live
+        bit and release their group/link bookkeeping.  The dead rows keep
+        their position (so live rows never move and no float is touched)
+        until :meth:`_compact` reclaims them."""
+        rows = np.flatnonzero(finished_mask)
+        active = self._active
+        finished = [active[int(row)] for row in rows]
+        for row in rows:
+            active[int(row)] = None
+        # In-place scatter-decrements: exact integer arithmetic, and no
+        # O(num_groups)/O(num_links) bincount allocation per instant.
+        np.subtract.at(self._group_count, self._gids[rows], 1)
+        paths = self._paths[rows]
+        links = paths[paths >= 0]
+        if links.size:
+            np.subtract.at(self._load_counts, links, 1)
+        self._rates[rows] = 0.0
+        self._live[rows] = False
+        self._dead_count += rows.size
+        self._live_count -= rows.size
+        if self._live_count == 0:
+            self._active = []
+            self._n = 0
+            self._dead_count = 0
+        elif self._dead_count >= 64 and 2 * self._dead_count >= self._n:
+            self._compact()
+        return finished
+
+    def _compact(self) -> None:
+        """Reclaim tombstoned rows, preserving live-row order (and hence
+        every downstream float operation's order)."""
+        n = self._n
+        live = self._live[:n]
+        k = self._live_count
+        self._paths[:k] = self._paths[:n][live]
+        self._remaining[:k] = self._remaining[:n][live]
+        self._rates[:k] = self._rates[:n][live]
+        self._sizes[:k] = self._sizes[:n][live]
+        self._gids[:k] = self._gids[:n][live]
+        self._live[:k] = True
+        self._active = [flow for flow in self._active if flow is not None]
+        for row, flow in enumerate(self._active):
+            flow._row = row
+        self._n = k
+        self._dead_count = 0
 
     # -- recompute scheduling ------------------------------------------------
 
     def _schedule_recompute(self) -> None:
         """Coalesce rate recomputation: many flows starting or finishing at
         the same instant (e.g. the prefetch burst at iteration start) cause
-        one water-filling pass, not one per flow."""
+        one water-filling pass, not one per flow.  The pass is deferred to
+        the end of the instant, so the whole same-timestamp cohort —
+        across any number of kernel events — shares a single solve."""
         if self._recompute_pending:
             return
         self._recompute_pending = True
-        timer = self.env.timeout(0.0)
-        timer.callbacks.append(self._do_recompute)
+        self.env.defer_to_instant_end(self._do_recompute)
 
-    def _do_recompute(self, _event) -> None:
+    def _do_recompute(self) -> None:
         self._recompute_pending = False
         self._advance()
         self._reschedule()
@@ -423,41 +549,207 @@ class FluidNetwork:
             return
         num_groups = self._num_groups
         gcount = self._group_count[:num_groups]
-        populated = np.nonzero(gcount)[0]
-        width = int(populated[-1]) + 1 if populated.size else 0
+        # _gid_hi bounds the last populated group from above; trailing
+        # zeros in the signature only cost the occasional duplicate cache
+        # entry, never a false hit.
+        width = self._gid_hi + 1
         key = (self._capacity_epoch, gcount[:width].tobytes())
         grates = self._solve_cache.get(key)
         if grates is None:
             grates = self._solve(num_groups, gcount)
-            if len(self._solve_cache) >= 4096:
-                self._solve_cache.clear()
+            if (
+                len(self._solve_cache) >= 4096
+                or self._solve_cache_bytes >= _SOLVE_CACHE_BUDGET
+            ):
+                self._evict_solve_cache()
             self._solve_cache[key] = grates
+            self._solve_cache_bytes += grates.nbytes
         # Every active flow's group lies inside the trimmed signature, so a
         # cached array from a smaller group table still covers all gids.
-        self._rates[:n] = grates[self._gids[:n]]
+        rates = self._rates[:n]
+        if self._dead_count:
+            # Only live rows take the solved rate: a tombstoned row's rate
+            # stays exactly 0 (what makes it invisible to _advance and the
+            # completion timer), and its group may be empty — i.e. beyond
+            # the cached array's trim width — so it must not index grates.
+            live = self._live[:n]
+            rates[live] = grates[self._gids[:n][live]]
+        else:
+            rates[:] = grates[self._gids[:n]]
+
+    def _evict_solve_cache(self) -> None:
+        """Drop every cached solve, recycling the arrays still large
+        enough for the current group table into the grates pool."""
+        pool = self._grates_pool
+        num_groups = self._num_groups
+        for cached in self._solve_cache.values():
+            base = cached.base if cached.base is not None else cached
+            if base.shape[0] >= num_groups and len(pool) < 256:
+                pool.append(base)
+        self._solve_cache.clear()
+        self._solve_cache_bytes = 0
 
     def _solve(self, num_groups: int, gcount: np.ndarray) -> np.ndarray:
         """One full water-filling pass; returns per-group rates."""
+        lib = _waterfill.kernel()
+        if lib is not None:
+            return self._solve_compiled(num_groups, gcount, lib)
+        if self.coalesce:
+            return self._solve_active(num_groups, gcount)
+        return self._solve_dense(num_groups, gcount)
+
+    def _solve_compiled(
+        self, num_groups: int, gcount: np.ndarray, lib
+    ) -> np.ndarray:
+        """Water-filling via the compiled kernel (see ``_waterfill``).
+
+        Runs the dense-solver semantics — full link space, cached CSR
+        adjacency — but with the per-round work in native code, where a
+        lazy-invalidation heap replaces the O(links) argmin scan.  The
+        kernel performs the identical IEEE-754 operations in the
+        identical order, so the rates are bitwise those of
+        :meth:`_solve_dense` (and, by the coalescing invariant, of
+        :meth:`_solve_active`).
+        """
+        num_links = self._num_links
+        self._ensure_csr(num_groups)
+        scratch = self._solve_scratch
+        if scratch is None or not scratch.fits(num_links, num_groups):
+            scratch = _waterfill.Scratch(num_links, num_groups)
+            self._solve_scratch = scratch
+        # The result lands in the memoization cache, so it needs its own
+        # array — but recycling evicted buffers keeps their pages warm
+        # (fresh multi-hundred-KB allocations fault in new pages on every
+        # solve at fleet scale, which costs more than the solve itself).
+        pool = self._grates_pool
+        while pool and pool[-1].shape[0] < num_groups:
+            pool.pop()  # group table outgrew this buffer
+        if pool:
+            grates = pool.pop()[:num_groups]
+            grates[:] = 0.0
+        else:
+            grates = np.zeros(num_groups * 3 // 2 + 64)[:num_groups]
+        _waterfill.run(
+            lib, scratch, self._capacity[:num_links],
+            self._load_counts[:num_links],
+            self._group_paths[:num_groups], gcount,
+            self._csr_groups, self._csr_starts, grates,
+            int(gcount.sum()),
+        )
+        return grates
+
+    def _solve_active(self, num_groups: int, gcount: np.ndarray) -> np.ndarray:
+        """Water-filling restricted to links with at least one crossing
+        flow.
+
+        Bit-identical to :meth:`_solve_dense`: a link with zero load has an
+        infinite share in every dense round, so it can never be the argmin
+        bottleneck (ties on the share value break toward the lowest link
+        index, and the compacted arrays keep ascending link order), it
+        receives no residual/load updates that matter, and groups crossing
+        only inactive links are never candidates in either solver.  The
+        per-round cost drops from O(all links ever registered) to O(links
+        with active flows) — at fleet scale most links are idle outside
+        their phase (e.g. NVLink during the cross-machine pull wave).
+        """
+        num_links = self._num_links
+        load_full = self._load_counts[:num_links]
+        active = np.flatnonzero(load_full > 0)
+        na = int(active.size)
+        grates = np.zeros(num_groups)
+        if na == 0:
+            return grates
+        gpaths = self._group_paths[:num_groups]
+        # Remap the group->link adjacency into compact active-link space.
+        pos = np.full(num_links, -1, dtype=np.int64)
+        pos[active] = np.arange(na, dtype=np.int64)
+        gvalid = gpaths >= 0
+        mapped = pos[gpaths[gvalid]]
+        flat_groups = np.broadcast_to(
+            np.arange(num_groups, dtype=np.int64)[:, None],
+            (num_groups, 2),
+        )[gvalid]
+        adjacent = mapped >= 0
+        flat_links = mapped[adjacent]
+        flat_groups = flat_groups[adjacent]
+        order = np.argsort(flat_links, kind="stable")
+        sorted_groups = flat_groups[order]
+        starts = np.searchsorted(
+            flat_links[order], np.arange(na + 1, dtype=np.int64)
+        )
+        # Per-group active-link paths (compact index space) and degree.
+        cpaths = np.full((num_groups, 2), -1, dtype=np.int64)
+        np.place(cpaths, gvalid, mapped)
+        cvalid = cpaths >= 0
+        rowsum = cvalid.sum(axis=1)
+
+        residual = self._capacity[active].copy()
+        load = load_full[active].astype(float)
+        gcount_f = gcount.astype(float)
+        gunfixed = np.ones(num_groups, dtype=bool)
+        unfixed_flows = int(gcount.sum())
+        shares = np.empty(na)
+        while True:
+            positive = load > 0
+            np.divide(residual, load, out=shares, where=positive)
+            shares[~positive] = np.inf
+            bottleneck = int(shares.argmin())
+            share = shares[bottleneck]
+            if not np.isfinite(share):
+                break
+            share = max(share, 0.0)
+            candidates = sorted_groups[
+                starts[bottleneck]: starts[bottleneck + 1]
+            ]
+            selected = candidates[gunfixed[candidates]]
+            if not selected.size:
+                break
+            grates[selected] = share
+            touched = cpaths[selected][cvalid[selected]]
+            counts = np.bincount(
+                touched,
+                weights=gcount_f[selected].repeat(rowsum[selected]),
+                minlength=na,
+            )
+            residual -= share * counts
+            load -= counts
+            residual[bottleneck] = 0.0
+            load[bottleneck] = 0.0
+            gunfixed[selected] = False
+            unfixed_flows -= int(gcount[selected].sum())
+            if unfixed_flows <= 0:
+                break
+        return grates
+
+    def _ensure_csr(self, num_groups: int) -> None:
+        """Build the link -> crossing groups adjacency (CSR over sorted
+        flat links); valid until the next link or group is interned."""
+        num_links = self._num_links
+        if self._csr_shape == (num_groups, num_links):
+            return
+        gpaths = self._group_paths[:num_groups]
+        gvalid = gpaths >= 0
+        flat_links = gpaths[gvalid]
+        flat_groups = np.broadcast_to(
+            np.arange(num_groups, dtype=np.int64)[:, None],
+            (num_groups, 2),
+        )[gvalid]
+        order = np.argsort(flat_links, kind="stable")
+        sorted_links = flat_links[order]
+        self._csr_groups = flat_groups[order]
+        self._csr_starts = np.searchsorted(
+            sorted_links, np.arange(num_links + 1, dtype=np.int64)
+        )
+        self._csr_gvalid = gvalid
+        self._csr_rowsum = gvalid.sum(axis=1)
+        self._csr_shape = (num_groups, num_links)
+
+    def _solve_dense(self, num_groups: int, gcount: np.ndarray) -> np.ndarray:
+        """Water-filling over every registered link (uncoalesced
+        reference)."""
         num_links = self._num_links
         gpaths = self._group_paths[:num_groups]
-        if self._csr_shape != (num_groups, num_links):
-            # link -> crossing groups adjacency (CSR over sorted flat
-            # links); valid until the next link or group is interned.
-            gvalid = gpaths >= 0
-            flat_links = gpaths[gvalid]
-            flat_groups = np.broadcast_to(
-                np.arange(num_groups, dtype=np.int64)[:, None],
-                (num_groups, 2),
-            )[gvalid]
-            order = np.argsort(flat_links, kind="stable")
-            sorted_links = flat_links[order]
-            self._csr_groups = flat_groups[order]
-            self._csr_starts = np.searchsorted(
-                sorted_links, np.arange(num_links + 1, dtype=np.int64)
-            )
-            self._csr_gvalid = gvalid
-            self._csr_rowsum = gvalid.sum(axis=1)
-            self._csr_shape = (num_groups, num_links)
+        self._ensure_csr(num_groups)
         sorted_groups = self._csr_groups
         starts = self._csr_starts
         gvalid = self._csr_gvalid
@@ -532,6 +824,9 @@ class FluidNetwork:
         remaining = self._remaining[:n]
         sizes = self._sizes[:n]
         finished_mask = remaining <= _EPSILON * sizes + _EPSILON
+        if self._dead_count:
+            # Tombstoned rows sit at ~0 remaining; only live rows finish.
+            finished_mask &= self._live[:n]
         if not finished_mask.any():
             # The timer was armed for the minimum-ETA flow; if floating
             # point residue kept its remaining microscopically above the
@@ -556,11 +851,19 @@ class FluidNetwork:
                 # recomputes and re-arms.
                 now = self.env.now
                 eta = float(etas.min())
-                within_residue = (
+                if now + eta <= now:
+                    # The whole sub-ulp cohort finishes together.  Retiring
+                    # rows only frees capacity, so any flow whose ETA is
+                    # already below the clock's resolution stays there as
+                    # its peers retire — finishing them one timer round at
+                    # a time would land every one at this same ``now``
+                    # while paying a full solve per flow (the fleet-scale
+                    # cascade pathology).
+                    finished_mask[moving[now + etas <= now]] = True
+                elif (
                     remaining[candidate]
                     <= _FORCE_FINISH_REL * sizes[candidate] + _EPSILON
-                ) or now + eta <= now
-                if within_residue:
+                ):
                     finished_mask[candidate] = True
                 else:
                     self._schedule_recompute()
@@ -590,13 +893,12 @@ class FluidNetwork:
         )
 
 
-def _grow(array: np.ndarray, size: int) -> np.ndarray:
-    grown = np.zeros(size, dtype=array.dtype)
-    grown[: array.shape[0]] = array
-    return grown
+def _grow(array: np.ndarray, size: int, fill=0) -> np.ndarray:
+    """Return ``array`` grown to ``size`` rows, new entries set to ``fill``.
 
-
-def _grow_rows(array: np.ndarray, size: int) -> np.ndarray:
-    grown = np.full((size, array.shape[1]), -1, dtype=array.dtype)
+    Works for both 1-D scalar arrays and 2-D row matrices (the trailing
+    dimensions are preserved); only the leading dimension grows.
+    """
+    grown = np.full((size,) + array.shape[1:], fill, dtype=array.dtype)
     grown[: array.shape[0]] = array
     return grown

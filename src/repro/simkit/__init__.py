@@ -12,6 +12,7 @@ from .core import (
     StalledSimulationError,
     Timeout,
 )
+from .sharded import ShardedRun, ShardResult, run_sharded
 from .resources import (
     Container,
     PriorityRequest,
@@ -36,8 +37,11 @@ __all__ = [
     "Release",
     "Request",
     "Resource",
+    "ShardResult",
+    "ShardedRun",
     "SimulationError",
     "StalledSimulationError",
     "Store",
     "Timeout",
+    "run_sharded",
 ]

@@ -356,13 +356,29 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
+        # Calendar-bucket front-end on the heap: the heap holds one
+        # ``(time, priority)`` key per distinct scheduling instant, and the
+        # events themselves sit in per-key FIFO buckets.  Dense-timer
+        # regimes (hundreds of compute kernels finishing at the same
+        # simulated instant at fleet scale) then cost one heap push for the
+        # whole cohort instead of one per event, and draining a cohort is a
+        # bucket walk, not repeated heap pops.  Bucket FIFO order is eid
+        # order (eids are handed out monotonically at schedule time), so
+        # the merged pop order is exactly the (time, priority, eid) order
+        # of a single flat heap.
         self._queue: List = []
+        self._buckets: dict = {}
         # Zero-delay, normal-priority schedules (the vast majority: every
         # succeed()/fail() and delay-0 timeout) bypass the heap.  Invariant:
         # every entry was enqueued at the current ``_now``, so the deque is
         # already in (time, priority, eid) order and ``_now`` cannot advance
         # while it is non-empty.
         self._immediate: deque = deque()
+        # Callbacks to run when the current instant's cohort has fully
+        # drained (no event due at ``_now`` remains), just before the clock
+        # would advance.  This is how the fluid network recomputes rates
+        # once per same-timestamp cohort instead of once per event.
+        self._instant_hooks: List[Callable[[], None]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._alive: set = set()
@@ -415,13 +431,45 @@ class Environment:
         if delay == 0.0 and priority == 1:
             self._immediate.append((self._eid, event))
         else:
-            heapq.heappush(
-                self._queue, (self._now + delay, priority, self._eid, event)
-            )
+            key = (self._now + delay, priority)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = bucket = deque()
+                heapq.heappush(self._queue, key)
+            bucket.append((self._eid, event))
+
+    def defer_to_instant_end(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the current instant's cohort has drained.
+
+        The callback fires after every event due at the current simulated
+        time has been processed, immediately before the clock would advance
+        (or the queue exhausts).  Callbacks may schedule new events — at
+        the current instant or later — in which case those are processed
+        (and the hooks re-flushed) before time moves.
+        """
+        self._instant_hooks.append(callback)
+
+    def _instant_drained(self) -> bool:
+        """No event due at the current instant remains."""
+        if self._immediate:
+            return False
+        queue = self._queue
+        return not queue or queue[0][0] > self._now
+
+    def _flush_instant_hooks(self) -> None:
+        while self._instant_hooks and self._instant_drained():
+            hooks = self._instant_hooks
+            self._instant_hooks = []
+            for hook in hooks:
+                hook()
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if none."""
-        if self._immediate:
+        """Time of the next scheduled activity, or +inf if none.
+
+        Pending instant-end hooks count as activity at the current time:
+        they may schedule events at ``now`` when they run.
+        """
+        if self._immediate or self._instant_hooks:
             return self._now
         if not self._queue:
             return float("inf")
@@ -430,28 +478,43 @@ class Environment:
     def step(self) -> None:
         """Process the next scheduled event.
 
-        The merged pop order over the heap and the immediate deque is
-        exactly the (time, priority, eid) order a single heap would give:
-        heap times are always >= ``_now``, so a heap entry wins only when
-        it is at the current time with a higher priority or an earlier eid
-        than the oldest immediate event.
+        The merged pop order over the heap buckets and the immediate deque
+        is exactly the (time, priority, eid) order a single flat heap would
+        give: bucket times are always >= ``_now``, so a bucket entry wins
+        only when it is at the current time with a higher priority or an
+        earlier eid than the oldest immediate event.  When the current
+        instant has fully drained, pending instant-end hooks run before
+        the clock advances.
         """
         immediate = self._immediate
         queue = self._queue
+        if self._instant_hooks and not immediate and (
+            not queue or queue[0][0] > self._now
+        ):
+            self._flush_instant_hooks()
         if immediate:
+            event = None
             if queue:
-                head = queue[0]
-                if (head[0], head[1], head[2]) < (self._now, 1, immediate[0][0]):
-                    event = heapq.heappop(queue)[3]
-                else:
-                    event = immediate.popleft()[1]
-            else:
+                key = queue[0]
+                if key[0] == self._now:
+                    bucket = self._buckets[key]
+                    if (key[1], bucket[0][0]) < (1, immediate[0][0]):
+                        event = bucket.popleft()[1]
+                        if not bucket:
+                            del self._buckets[key]
+                            heapq.heappop(queue)
+            if event is None:
                 event = immediate.popleft()[1]
         else:
             if not queue:
                 raise SimulationError("no more events to process")
-            time, _priority, _eid, event = heapq.heappop(queue)
-            self._now = time
+            key = queue[0]
+            bucket = self._buckets[key]
+            event = bucket.popleft()[1]
+            if not bucket:
+                del self._buckets[key]
+                heapq.heappop(queue)
+            self._now = key[0]
         self.events_processed += 1
         event._process_callbacks()
 
@@ -474,12 +537,20 @@ class Environment:
         queue = self._queue
         immediate = self._immediate
         step = self.step
-        while queue or immediate:
+        while queue or immediate or self._instant_hooks:
             if stop_event is not None and stop_event.callbacks is None:
                 return stop_event.value
             if stop_time is not None and self.peek() > stop_time:
                 self._now = stop_time
                 return None
+            if self._instant_hooks and not immediate and (
+                not queue or queue[0][0] > self._now
+            ):
+                # The current instant has drained: run the instant-end
+                # hooks, then re-apply the stop checks before any event
+                # they scheduled (possibly later than ``until``) runs.
+                self._flush_instant_hooks()
+                continue
             step()
 
         if stop_event is not None:

@@ -154,6 +154,33 @@ class TestObservabilityCommands:
         assert "written" not in capsys.readouterr().out
         assert list(tmp_path.iterdir()) == []
 
+    def test_simulate_profile_out_dumps_raw_pstats(self, tmp_path, capsys):
+        import pstats
+
+        stats_path = tmp_path / "sim.pstats"
+        assert main([
+            "simulate", *self.SMALL, "--profile-out", str(stats_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"profile stats written to {stats_path}" in out
+        # --profile-out implies profiling but not the stdout table.
+        assert "cumulative" not in out
+        stats = pstats.Stats(str(stats_path))
+        functions = {name for _, _, name in stats.stats}
+        assert "run_iteration" in functions
+
+    def test_simulate_profile_and_profile_out_compose(self, tmp_path,
+                                                      capsys):
+        stats_path = tmp_path / "sim.pstats"
+        assert main([
+            "simulate", *self.SMALL,
+            "--profile", "--profile-out", str(stats_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "profile stats written" in out
+        assert "cumulative" in out  # the stdout table still prints
+        assert stats_path.exists()
+
     def test_report_command_writes_multi_iteration_report(self, tmp_path,
                                                           capsys):
         import json

@@ -94,8 +94,8 @@ class TestGoldenCountersDataCentric:
 
     def test_kernel_and_credit_gauges(self):
         registry, _ = run_with_metrics("data-centric")
-        assert registry.gauge("sim.events_processed", iteration=0) == 1518.0
-        assert registry.gauge("sim.processes_started", iteration=0) == 255.0
+        assert registry.gauge("sim.events_processed", iteration=0) == 1120.0
+        assert registry.gauge("sim.processes_started", iteration=0) == 135.0
         for rank in range(4):
             assert registry.gauge(
                 "credit.max_occupancy", rank=rank, iteration=0
@@ -125,8 +125,8 @@ class TestGoldenCountersExpertCentric:
         assert registry.counter(
             "machine.egress_bytes", machine=0
         ) == 2096128.0000000016
-        assert registry.gauge("sim.events_processed", iteration=0) == 588.0
-        assert registry.gauge("sim.processes_started", iteration=0) == 105.0
+        assert registry.gauge("sim.events_processed", iteration=0) == 428.0
+        assert registry.gauge("sim.processes_started", iteration=0) == 57.0
         # Synchronous All-to-All never draws a credit.
         for rank in range(4):
             assert registry.gauge(
@@ -136,8 +136,8 @@ class TestGoldenCountersExpertCentric:
     def test_pipelined_ec_runs_more_processes(self):
         registry, _ = run_with_metrics("pipelined-ec")
         # 4 chunks per All-to-All -> far more kernel activity than plain EC.
-        assert registry.gauge("sim.events_processed", iteration=0) == 1796.0
-        assert registry.gauge("sim.processes_started", iteration=0) == 301.0
+        assert registry.gauge("sim.events_processed", iteration=0) == 1156.0
+        assert registry.gauge("sim.processes_started", iteration=0) == 109.0
         for block in (1, 3):
             assert registry.counter(
                 "block.strategy", block=block, strategy="pipelined-ec"

@@ -1,0 +1,201 @@
+"""Coalescing equivalence battery.
+
+Flow coalescing collapses concurrent flows sharing an interned path
+group into one macro-flow row of the water-filling solve, with a
+per-member byte ledger (tombstoned retirement).  The acceptance bar is
+*exact* equivalence, not approximate: under any interleaving of
+arrivals, departures and mid-flight capacity rescales, the coalesced
+network must hand every flow the same IEEE-754 rate, finish it at the
+same simulated time, and account the same per-link bytes as the
+uncoalesced solver.  The same bar applies to the compiled water-filling
+kernel against the pure-python filling loop.
+"""
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import FluidNetwork
+from repro.netsim import _waterfill
+from repro.simkit import Environment
+
+
+@st.composite
+def schedules(draw):
+    """Random link tables plus arrival/rescale schedules.
+
+    Paths are drawn from a small pool so several flows routinely share a
+    path group — the case coalescing actually batches.
+    """
+    num_links = draw(st.integers(min_value=2, max_value=5))
+    links = [
+        (f"l{i}", draw(st.floats(min_value=1.0, max_value=500.0)))
+        for i in range(num_links)
+    ]
+    paths = st.lists(
+        st.integers(min_value=0, max_value=num_links - 1),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    )
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("arrive"),
+                    paths,
+                    st.floats(min_value=1.0, max_value=1000.0),
+                ),
+                st.tuples(
+                    st.just("rescale"),
+                    st.integers(min_value=0, max_value=num_links - 1),
+                    st.floats(min_value=1.0, max_value=500.0),
+                ),
+            ),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2.0),
+            min_size=len(ops),
+            max_size=len(ops),
+        )
+    )
+    return links, ops, gaps
+
+
+def _settle(env):
+    env.run(until=env.now)
+
+
+def _run_schedule(schedule, coalesce):
+    """Replay one schedule; return (rate log, finish times, link bytes).
+
+    The rate log snapshots every active flow's rate after each operation
+    settles, keyed by arrival order, so a divergence is caught at the
+    instant it appears rather than washed out by completions.
+    """
+    links, ops, gaps = schedule
+    env = Environment()
+    net = FluidNetwork(env, coalesce=coalesce)
+    for link_id, bandwidth in links:
+        net.add_link(link_id, bandwidth)
+    flows = []
+    rate_log = []
+    for (op, *payload), gap in zip(ops, gaps):
+        if gap > 0:
+            until = env.now + gap
+            if net._n:
+                until = min(until, env.peek())
+            env.run(until=until)
+        if op == "arrive":
+            indices, size = payload
+            flows.append(
+                net.transfer(tuple(f"l{i}" for i in indices), size)
+            )
+        else:
+            index, bandwidth = payload
+            net.set_capacity(f"l{index}", bandwidth)
+        _settle(env)
+        rate_log.append([flow.rate for flow in flows])
+    while net.active_flows:
+        env.run(until=env.peek())
+        _settle(env)
+    finish_times = [flow.completed_at for flow in flows]
+    link_bytes = {link_id: net.link_bytes[link_id] for link_id, _ in links}
+    return rate_log, finish_times, link_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedules())
+def test_coalesced_equals_uncoalesced_exactly(schedule):
+    coalesced = _run_schedule(schedule, coalesce=True)
+    plain = _run_schedule(schedule, coalesce=False)
+    # Exact float equality on every rate at every instant, every finish
+    # time, and every link's byte counter — not approx.
+    assert coalesced == plain
+
+
+@contextmanager
+def _python_solver():
+    """Force the pure-python filling loops for the duration."""
+    original = _waterfill.kernel
+    _waterfill.kernel = lambda: None
+    try:
+        yield
+    finally:
+        _waterfill.kernel = original
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedules())
+def test_compiled_kernel_equals_python_solver_exactly(schedule):
+    if _waterfill.kernel() is None:
+        return  # no C compiler on this host; the python path is the only one
+    compiled = _run_schedule(schedule, coalesce=True)
+    with _python_solver():
+        plain = _run_schedule(schedule, coalesce=True)
+    assert compiled == plain
+
+
+class TestSetCapacityRescale:
+    """Coalescing must respect mid-flight ``set_capacity`` rescales."""
+
+    def _shared_group_network(self, coalesce):
+        env = Environment()
+        net = FluidNetwork(env, coalesce=coalesce)
+        net.add_link("wire", 100.0)
+        # Three flows in ONE path group: the group's macro-row carries
+        # multiplicity 3 through the rescale.
+        flows = [net.transfer(("wire",), 300.0) for _ in range(3)]
+        _settle(env)
+        return env, net, flows
+
+    def test_rescale_rerates_a_coalesced_group(self):
+        env, net, flows = self._shared_group_network(coalesce=True)
+        assert [flow.rate for flow in flows] == [100.0 / 3] * 3
+        env.run(until=1.0)
+        net.set_capacity("wire", 30.0)
+        _settle(env)
+        assert [flow.rate for flow in flows] == [10.0] * 3
+        while net.active_flows:
+            env.run(until=env.peek())
+            _settle(env)
+        # 300 bytes each: 100/3 moved in the first second, the rest at
+        # 10 B/s after the rescale.
+        for flow in flows:
+            assert flow.completed_at == 1.0 + (300.0 - 100.0 / 3) / 10.0
+
+    def test_rescale_matches_uncoalesced_exactly(self):
+        outcomes = []
+        for coalesce in (True, False):
+            env, net, flows = self._shared_group_network(coalesce)
+            env.run(until=1.0)
+            net.set_capacity("wire", 30.0)
+            _settle(env)
+            rates_after = [flow.rate for flow in flows]
+            while net.active_flows:
+                env.run(until=env.peek())
+                _settle(env)
+            outcomes.append(
+                (
+                    rates_after,
+                    [flow.completed_at for flow in flows],
+                    net.link_bytes["wire"],
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_rescale_epoch_invalidates_solve_memo(self):
+        # Same group signature before and after the rescale: only the
+        # capacity epoch distinguishes the cache keys.
+        env, net, flows = self._shared_group_network(coalesce=True)
+        before = flows[0].rate
+        net.set_capacity("wire", 60.0)
+        _settle(env)
+        after = flows[0].rate
+        assert before == 100.0 / 3
+        assert after == 20.0

@@ -1,0 +1,170 @@
+"""Conservative-time-window sharded driver tests.
+
+The shard factories live at module level so the multi-process paths can
+pickle them under any multiprocessing start method.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.netsim import Fabric
+from repro.netsim.collectives import all_to_all, uniform_matrix
+from repro.simkit import Environment, ShardResult, run_sharded
+from repro.simkit.sharded import _drain_to
+
+
+def _ticker(env, period, count, log):
+    for tick in range(count):
+        yield env.timeout(period)
+        log.append((env.now, tick))
+
+
+def timeout_shard(index):
+    """A plain Environment shard: (index + 1) ticks of distinct periods."""
+    env = Environment()
+    env.process(_ticker(env, 0.25 + 0.125 * index, index + 1, []))
+    return env
+
+
+class FabricShard:
+    """An object shard: one machine group running its own All-to-All."""
+
+    def __init__(self, index):
+        env = Environment()
+        cluster = Cluster(2)
+        fabric = Fabric(env, cluster)
+        matrix = uniform_matrix(cluster.world_size, 1e6 * (index + 1))
+        all_to_all(fabric, matrix)
+        self.env = env
+        self.fabric = fabric
+        self.index = index
+
+    def collect(self):
+        return {
+            "index": self.index,
+            "seconds": self.env.now,
+            "egress": self.fabric.total_cross_machine_bytes(),
+        }
+
+
+def fabric_shard(index):
+    return FabricShard(index)
+
+
+def broken_shard(index):
+    raise RuntimeError(f"shard {index} refused to build")
+
+
+def _standalone(factory, index):
+    shard = factory(index)
+    env = shard if isinstance(shard, Environment) else shard.env
+    env.run()
+    return env
+
+
+class TestInline:
+    def test_single_shard_matches_standalone(self):
+        run = run_sharded(timeout_shard, 1, jobs=1)
+        env = _standalone(timeout_shard, 0)
+        assert run.results[0].now == env.now
+        assert run.results[0].events_processed == env.events_processed
+        assert run.makespan == env.now
+        assert run.windows == 1  # infinite window -> one round
+
+    def test_results_match_standalone_runs(self):
+        run = run_sharded(timeout_shard, 4, jobs=1)
+        for index, result in enumerate(run.results):
+            env = _standalone(timeout_shard, index)
+            assert result.index == index
+            assert result.now == env.now
+            assert result.events_processed == env.events_processed
+            assert result.processes_started == env.processes_started
+        assert run.events_processed == sum(
+            r.events_processed for r in run.results
+        )
+        assert run.makespan == max(r.now for r in run.results)
+
+    def test_window_size_is_result_invariant(self):
+        wide = run_sharded(timeout_shard, 4, jobs=1)
+        narrow = run_sharded(timeout_shard, 4, jobs=1, window=0.1)
+        assert narrow.results == wide.results
+        # Narrow windows mean more coordination rounds, never different
+        # results.
+        assert narrow.windows > wide.windows
+
+    def test_shard_clock_not_rounded_to_window(self):
+        # Completion times are the shards' true last-event times, not
+        # window-boundary artifacts.
+        run = run_sharded(timeout_shard, 3, jobs=1, window=1.0)
+        for index, result in enumerate(run.results):
+            assert result.now == pytest.approx(
+                (0.25 + 0.125 * index) * (index + 1)
+            )
+
+    def test_collect_payload(self):
+        run = run_sharded(fabric_shard, 2, jobs=1)
+        for index, result in enumerate(run.results):
+            assert result.payload["index"] == index
+            assert result.payload["seconds"] > 0
+            assert result.payload["seconds"] == result.now
+        # Shard 1 pushes twice the bytes of shard 0 over the same fabric.
+        assert (
+            run.results[1].payload["egress"]
+            == pytest.approx(2 * run.results[0].payload["egress"])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sharded(timeout_shard, 0)
+        with pytest.raises(ValueError):
+            run_sharded(timeout_shard, 2, window=0.0)
+
+
+class TestMultiprocess:
+    def test_matches_inline(self):
+        inline = run_sharded(timeout_shard, 5, jobs=1)
+        fanned = run_sharded(timeout_shard, 5, jobs=3)
+        assert fanned == inline
+
+    def test_windowed_matches_inline(self):
+        inline = run_sharded(timeout_shard, 4, jobs=1)
+        fanned = run_sharded(timeout_shard, 4, jobs=2, window=0.2)
+        assert fanned.results == inline.results
+        assert fanned.makespan == inline.makespan
+
+    def test_fabric_shards_fan_out(self):
+        inline = run_sharded(fabric_shard, 2, jobs=1)
+        fanned = run_sharded(fabric_shard, 2, jobs=2)
+        assert fanned.results == inline.results
+
+    def test_jobs_capped_to_shards(self):
+        run = run_sharded(timeout_shard, 2, jobs=16)
+        assert len(run.results) == 2
+
+    def test_factory_error_propagates(self):
+        with pytest.raises(RuntimeError, match="refused to build"):
+            run_sharded(broken_shard, 2, jobs=2)
+
+
+def test_drain_to_stops_at_horizon():
+    env = Environment()
+    log = []
+    env.process(_ticker(env, 1.0, 5, log))
+    _drain_to(env, 2.5)
+    assert env.now == 2.0
+    assert [t for t, _ in log] == [1.0, 2.0]
+    _drain_to(env, math.inf)
+    assert env.now == 5.0
+    assert math.isinf(env.peek())
+
+
+def test_shard_result_is_picklable():
+    import pickle
+
+    result = ShardResult(
+        index=1, now=2.0, events_processed=3, processes_started=4,
+        payload={"x": 1},
+    )
+    assert pickle.loads(pickle.dumps(result)) == result
