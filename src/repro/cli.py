@@ -92,6 +92,19 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _chunk_spec(text: str):
+    """``--chunks`` value: a fixed positive count, or ``auto`` to let the
+    cost-model tuner pick per-block counts every iteration."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        return _positive_int(text)
+    except (argparse.ArgumentTypeError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer or 'auto', got {text!r}"
+        )
+
+
 def _fault_plan(text: str) -> FaultPlan:
     try:
         return FaultPlan.parse(text)
@@ -193,9 +206,28 @@ def cmd_simulate(args) -> int:
         print("--inference is a single forward pass; drop --iterations",
               file=sys.stderr)
         return 2
+    if (
+        isinstance(args.chunks, int)
+        and args.control is not None
+        and args.control.adapt_chunks
+    ):
+        print(
+            "--chunks N pins a fixed chunk count, which contradicts a "
+            "chunk-adaptive --control (chunks=on); use --chunks auto or "
+            "drop one of them",
+            file=sys.stderr,
+        )
+        return 2
     kwargs = {}
-    if args.chunks is not None:
-        kwargs["features"] = JanusFeatures(ec_pipeline_chunks=args.chunks)
+    feature_overrides = {}
+    if args.chunks == "auto":
+        feature_overrides["chunk_autotune"] = True
+    elif args.chunks is not None:
+        feature_overrides["ec_pipeline_chunks"] = args.chunks
+    if args.stagger_a2a is not None:
+        feature_overrides["a2a_stagger"] = args.stagger_a2a
+    if feature_overrides:
+        kwargs["features"] = JanusFeatures(**feature_overrides)
     if args.faults is not None:
         kwargs["fault_plan"] = args.faults
     controller = None
@@ -296,9 +328,15 @@ def cmd_report(args) -> int:
     cluster = Cluster(args.machines)
     registry = MetricsRegistry()
     trace = TraceRecorder()
+    kwargs = {}
+    if args.chunks == "auto":
+        kwargs["features"] = JanusFeatures(chunk_autotune=True)
+    elif args.chunks is not None:
+        kwargs["features"] = JanusFeatures(ec_pipeline_chunks=args.chunks)
     try:
         engine = engine_for(
-            args.paradigm, config, cluster, metrics=registry, trace=trace
+            args.paradigm, config, cluster, metrics=registry, trace=trace,
+            **kwargs,
         )
         results = engine.run(args.iterations)
     except _SIMULATION_ERRORS as exc:
@@ -332,6 +370,30 @@ def cmd_report(args) -> int:
         print(format_table(
             ["Task kind", "Count", "Busy ms"], task_rows,
             title="task-graph breakdown (all iterations)",
+        ))
+    tuning = report.get("chunk_tuning")
+    if tuning:
+        def _ms(entry, key):
+            value = entry.get(key)
+            return f"{value * 1e3:.3f}" if value is not None else "-"
+
+        tuning_rows = [
+            [block, entry.get("chunks", "-"),
+             _ms(entry, "predicted_chunk_s"),
+             _ms(entry, "measured_chunk_s"),
+             entry.get("switches", 0)]
+            for block, entry in tuning.get("blocks", {}).items()
+        ]
+        title = (
+            f"chunk autotuner ({tuning.get('retunes', 0)} retune(s)"
+            + (f", micro_batches={tuning['micro_batches']}"
+               if "micro_batches" in tuning else "")
+            + ")"
+        )
+        print(format_table(
+            ["Block", "Chunks", "Pred ms/chunk", "Meas ms/chunk",
+             "Switches"],
+            tuning_rows, title=title,
         ))
     if args.out == "-":
         import json
@@ -742,9 +804,17 @@ def build_parser() -> argparse.ArgumentParser:
              "the R-driven per-block 'unified' selector",
     )
     simulate.add_argument(
-        "--chunks", type=_positive_int, default=None,
+        "--chunks", type=_chunk_spec, default=None, metavar="N|auto",
         help="pipelined-ec All-to-All chunk count "
-             "(JanusFeatures.ec_pipeline_chunks)",
+             "(JanusFeatures.ec_pipeline_chunks); 'auto' lets the "
+             "cost-model tuner pick per-block counts before every "
+             "iteration",
+    )
+    simulate.add_argument(
+        "--stagger-a2a", choices=("off", "wave", "chain"), default=None,
+        help="intra-A2A chunk scheduling: arbitrate the shared NIC fabric "
+             "per chunk ('wave' grants in arrival order, 'chain' staggers "
+             "by micro-batch round); default keeps the fluid model",
     )
     simulate.add_argument("--inference", action="store_true",
                           help="forward-only pass (serving)")
@@ -807,6 +877,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--iterations", type=_positive_int, default=3,
                         help="iterations to simulate")
+    report.add_argument(
+        "--chunks", type=_chunk_spec, default=None, metavar="N|auto",
+        help="fixed pipelined-ec chunk count, or 'auto' for the "
+             "cost-model tuner (adds the per-block tuning table)",
+    )
     report.add_argument(
         "--out", default="report.json", metavar="PATH",
         help="run-report destination ('-' prints JSON to stdout)",

@@ -14,19 +14,23 @@ ratchet one-way.
 
 from .controller import Controller
 from .policy import (
+    ChunkPlan,
     ControlConfig,
     ControlDecision,
     ControlPolicy,
     CostModel,
+    tune_engine_chunks,
 )
 from .signals import BlockLoadSignals, ControlSignals
 
 __all__ = [
     "BlockLoadSignals",
+    "ChunkPlan",
     "ControlConfig",
     "ControlDecision",
     "ControlPolicy",
     "ControlSignals",
     "Controller",
     "CostModel",
+    "tune_engine_chunks",
 ]

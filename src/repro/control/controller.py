@@ -51,6 +51,16 @@ class Controller:
         if self.policy is not None and self._cost_model is None:
             self.policy.attach(dict(engine.block_strategies))
             self._cost_model = CostModel.from_engine(engine)
+            if self.policy.config.adapt_chunks:
+                # Arm the engine's per-iteration chunk retune: the engine
+                # re-runs the tuner at every iteration start, which *is*
+                # the controller's between-iteration chunk adaptation
+                # (each retune sees the freshly drifted routing).
+                import dataclasses
+
+                engine.features = dataclasses.replace(
+                    engine.features, chunk_autotune=True
+                )
         if self.drift is not None and self._drift_applied != iteration:
             from ..workloads.drift import apply_drift
 

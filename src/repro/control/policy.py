@@ -26,6 +26,7 @@ rules keep it honest:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -33,7 +34,14 @@ import numpy as np
 
 from .signals import BlockLoadSignals, ControlSignals
 
-__all__ = ["ControlConfig", "ControlDecision", "ControlPolicy", "CostModel"]
+__all__ = [
+    "ControlConfig",
+    "ControlDecision",
+    "ControlPolicy",
+    "CostModel",
+    "ChunkPlan",
+    "tune_engine_chunks",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,10 @@ class ControlConfig:
     load_strategy: str = "data-centric"
     adapt_load: bool = True
     adapt_replicas: bool = True
+    # Re-tune per-block All-to-All chunk counts from measured routing
+    # before every iteration (the FSMoE-style chunk autotuner).  Off by
+    # default so attaching a controller stays bit-identical.
+    adapt_chunks: bool = False
     replicable: Tuple[str, ...] = ("data-centric",)
     hot_factor: float = 4.0
     evict_factor: float = 2.0
@@ -126,7 +138,11 @@ class ControlConfig:
             "load_strategy": str, "hot_factor": float, "evict_factor": float,
             "max_replicas": int,
         }
-        flags = {"load": "adapt_load", "replicas": "adapt_replicas"}
+        flags = {
+            "load": "adapt_load",
+            "replicas": "adapt_replicas",
+            "chunks": "adapt_chunks",
+        }
         for clause in text.split(";"):
             clause = clause.strip()
             if not clause or clause == "adaptive":
@@ -177,6 +193,7 @@ class CostModel:
     kernel_overhead: float
     micro_batches: int
     ec_pipeline_chunks: int
+    nic_latency: float = 0.0      # per-transfer NIC latency (seconds)
 
     _BACKWARD_TOTAL = 3.0         # fwd + 2x bwd sweeps
 
@@ -193,19 +210,85 @@ class CostModel:
             kernel_overhead=spec.gpu.kernel_overhead,
             micro_batches=engine.features.micro_batches,
             ec_pipeline_chunks=engine.features.ec_pipeline_chunks,
+            nic_latency=spec.nic.latency,
         )
+
+    def _a2a_seconds(self, sig: BlockLoadSignals) -> float:
+        """4 All-to-Alls per iteration (dispatch+combine, fwd and bwd) over
+        the measured cross-machine bottleneck."""
+        return (
+            4.0 * sig.a2a_bottleneck_tokens * self.token_bytes
+            / self.nic_bandwidth
+        )
+
+    def _hot_compute_seconds(self, sig: BlockLoadSignals) -> float:
+        return self._BACKWARD_TOTAL * sig.max_rank_recv * self.expert_flops \
+            / self.gpu_flops
+
+    def chunk_time(self, sig: BlockLoadSignals, chunks: int) -> float:
+        """Estimated fwd+bwd seconds for the block under a K-chunked,
+        compute-overlapped All-to-All schedule (pipelined-ec or
+        microbatch-ec with K micro-batches): the longer of comm and hot
+        compute hides all but one chunk of the shorter, and every extra
+        chunk re-pays the per-expert kernel launch."""
+        sweeps = self._BACKWARD_TOTAL
+        a2a = self._a2a_seconds(sig)
+        hot_compute = self._hot_compute_seconds(sig)
+        launch = sweeps * self.kernel_overhead * sig.experts_per_worker
+        overlapped = (
+            max(a2a, hot_compute)
+            + min(a2a, hot_compute) / chunks
+        )
+        extra_launch = (chunks - 1) * self.kernel_overhead \
+            * sig.experts_per_worker * sweeps
+        return overlapped + launch + extra_launch
+
+    def a2a_chunk_seconds(self, sig: BlockLoadSignals, chunks: int) -> float:
+        """Predicted duration of one dispatch/combine All-to-All chunk
+        (uncontended): the per-phase bottleneck bytes split K ways, plus
+        the send/ack NIC latency every chunked transfer pays regardless
+        of its size."""
+        return (
+            sig.a2a_bottleneck_tokens * self.token_bytes
+            / self.nic_bandwidth / chunks
+            + 2.0 * self.nic_latency
+        )
+
+    def tune_chunks(self, sig: BlockLoadSignals, max_chunks: int = 64) -> int:
+        """Analytic per-block chunk-count optimum over the measured load.
+
+        ``chunk_time`` is convex in K: ``min(a2a, hot)/K`` falls while
+        ``(K-1)·o`` rises (o = per-sweep kernel relaunch cost), so the
+        unconstrained optimum is ``K* = sqrt(min(a2a, hot) / o)``.  The
+        result is clamped to the divisibility/capacity lattice: powers of
+        two (binary-exact splits of the routing matrix, so chunked traffic
+        totals stay bit-identical to the unchunked sum), at most
+        ``max_chunks``, and at most one token per chunk on the hottest
+        rank.  Convexity means only the two lattice neighbours of K* can
+        win; ties break toward fewer chunks.
+        """
+        sweeps = self._BACKWARD_TOTAL
+        overhead = sweeps * self.kernel_overhead * sig.experts_per_worker
+        cap = 1
+        while cap * 2 <= min(max_chunks, max(1, sig.max_rank_recv)):
+            cap *= 2
+        shorter = min(self._a2a_seconds(sig), self._hot_compute_seconds(sig))
+        if shorter <= 0.0:
+            return 1
+        if overhead <= 0.0:
+            return cap
+        optimum = math.sqrt(shorter / overhead)
+        below = 1
+        while below * 2 <= optimum:
+            below *= 2
+        candidates = {min(below, cap), min(below * 2, cap)}
+        return min(candidates, key=lambda k: (self.chunk_time(sig, k), k))
 
     def estimate(self, sig: BlockLoadSignals, strategy: str) -> float:
         """Estimated fwd+bwd seconds for ``sig``'s block under ``strategy``."""
         sweeps = self._BACKWARD_TOTAL
-        # 4 All-to-Alls per iteration (dispatch+combine, fwd and bwd) over
-        # the measured cross-machine bottleneck.
-        a2a = (
-            4.0 * sig.a2a_bottleneck_tokens * self.token_bytes
-            / self.nic_bandwidth
-        )
-        hot_compute = sweeps * sig.max_rank_recv * self.expert_flops \
-            / self.gpu_flops
+        a2a = self._a2a_seconds(sig)
+        hot_compute = self._hot_compute_seconds(sig)
         launch = sweeps * self.kernel_overhead * sig.experts_per_worker
         if strategy == "expert-centric":
             return a2a + hot_compute + launch
@@ -214,13 +297,7 @@ class CostModel:
                 self.ec_pipeline_chunks if strategy == "pipelined-ec"
                 else self.micro_batches
             )
-            overlapped = (
-                max(a2a, hot_compute)
-                + min(a2a, hot_compute) / chunks
-            )
-            extra_launch = (chunks - 1) * self.kernel_overhead \
-                * sig.experts_per_worker * sweeps
-            return overlapped + launch + extra_launch
+            return self.chunk_time(sig, chunks)
         if strategy == "data-centric":
             # Fetch the largest external expert set (fwd) and push the
             # gradients home (bwd); prefetch overlaps roughly half of it
@@ -239,6 +316,98 @@ class CostModel:
                 * sig.active_experts_per_rank
             return 0.5 * pull + compute + launch_dc
         raise ValueError(f"cost model knows no strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """One chunk-tuning pass over an engine's upcoming iteration.
+
+    ``block_chunks`` holds the per-block chunk counts chosen for the
+    chunked-EC blocks (the ``JanusFeatures.block_chunks`` overrides);
+    ``micro_batches`` is the single global M for the micro-capable blocks
+    (micro lanes are per-rank structure shared by every micro-capable
+    block, so M cannot vary per block); ``predicted_chunk_s`` maps block ->
+    the cost model's uncontended per-chunk All-to-All seconds, compared
+    against measured per-chunk times in ``repro report``.
+    """
+
+    block_chunks: Tuple[Tuple[int, int], ...] = ()
+    micro_batches: Optional[int] = None
+    predicted_chunk_s: Tuple[Tuple[int, float], ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.block_chunks and self.micro_batches is None
+
+
+def tune_engine_chunks(engine, max_chunks: int = 64) -> ChunkPlan:
+    """Pick chunk counts for every chunked-EC block of ``engine``'s next
+    iteration from its (already drifted) routing.
+
+    Routing is fixed per iteration and produced by the gate before any MoE
+    communication starts, so the signals are available *before* the
+    iteration runs — the same information window the paradigm selector
+    uses.  Pipelined-ec blocks get individual ``tune_chunks`` optima;
+    microbatch-ec blocks share one global M minimizing the summed estimate.
+    """
+    from .signals import BlockLoadSignals
+
+    costs = CostModel.from_engine(engine)
+    layout = engine.workload.layout
+    overrides: List[Tuple[int, int]] = []
+    predictions: List[Tuple[int, float]] = []
+    micro_sigs: List[BlockLoadSignals] = []
+    micro_blocks: List[int] = []
+    for block in engine.workload.moe_blocks():
+        name = engine.block_strategies.get(block.index)
+        if name not in ("pipelined-ec", "microbatch-ec"):
+            continue
+        if block.num_experts % layout.world_size != 0:
+            # No whole number of experts per worker (fewer experts than
+            # workers, or an uneven split): the load signals have no
+            # per-worker expert aggregate to tune from — leave the
+            # block on its configured chunk count.
+            continue
+        sig = BlockLoadSignals.from_block(block, layout)
+        if name == "pipelined-ec":
+            chunks = costs.tune_chunks(sig, max_chunks=max_chunks)
+            overrides.append((block.index, chunks))
+            predictions.append(
+                (block.index, costs.a2a_chunk_seconds(sig, chunks))
+            )
+        else:
+            micro_sigs.append(sig)
+            micro_blocks.append(block.index)
+
+    micro: Optional[int] = None
+    if micro_sigs:
+        cap = 1
+        limit = min(
+            max_chunks,
+            max(1, min(sig.max_rank_recv for sig in micro_sigs)),
+        )
+        while cap * 2 <= limit:
+            cap *= 2
+        candidates = []
+        m = 1
+        while m <= cap:
+            candidates.append(m)
+            m *= 2
+        micro = min(
+            candidates,
+            key=lambda k: (
+                sum(costs.chunk_time(sig, k) for sig in micro_sigs), k
+            ),
+        )
+        predictions.extend(
+            (index, costs.a2a_chunk_seconds(sig, micro))
+            for index, sig in zip(micro_blocks, micro_sigs)
+        )
+    return ChunkPlan(
+        block_chunks=tuple(overrides),
+        micro_batches=micro,
+        predicted_chunk_s=tuple(sorted(predictions)),
+    )
 
 
 @dataclass

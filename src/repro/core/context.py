@@ -10,7 +10,7 @@ sweep (phase ``"fwd"``) and the backward sweep (phase ``"bwd"``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 from ..cluster import Device
 from ..netsim import Fabric
@@ -53,6 +53,24 @@ class JanusFeatures:
     # of the per-block DAGs).  Inert unless a micro-capable strategy (e.g.
     # ``microbatch-ec``) is selected, so the default changes nothing.
     micro_batches: int = 4
+    # Per-block chunk-count overrides for the chunked expert-centric
+    # strategies (FSMoE-style cost-modelled chunk sizing): block index ->
+    # chunk count.  Accepts a mapping at construction; normalized to a
+    # sorted tuple of pairs so the dataclass stays hashable.  Blocks not
+    # listed fall back to ``ec_pipeline_chunks``.  Empty = the legacy
+    # single-M behaviour, bit-identical to pre-tuner builds.
+    block_chunks: Tuple[Tuple[int, int], ...] = ()
+    # Re-derive ``block_chunks`` (and ``micro_batches``) from the
+    # iteration's measured routing via the control-plane cost model before
+    # every iteration.  Off = never touch the fixed counts.
+    chunk_autotune: bool = False
+    # Intra-A2A chunk scheduling: "off" keeps the fluid model (concurrent
+    # All-to-All chunks superpose, the fabric never arbitrates); "wave"
+    # models the shared NIC fabric as an arbitrated resource with grants
+    # in raw arrival order (the unscheduled baseline); "chain" arbitrates
+    # the same fabric but staggers grants by schedule position, so a
+    # congested NIC always serves the chunk feeding the critical path.
+    a2a_stagger: str = "off"
     # Backward dense-gradient all-reduce scheduling: "none" (not modelled,
     # the legacy behaviour), "serial" (one all-reduce sweep after every
     # worker finishes its backward), or "overlap" (per-block all-reduces
@@ -71,6 +89,41 @@ class JanusFeatures:
             raise ValueError(
                 "grad_allreduce must be 'none', 'serial' or 'overlap'"
             )
+        if isinstance(self.block_chunks, Mapping):
+            object.__setattr__(
+                self, "block_chunks",
+                tuple(sorted(self.block_chunks.items())),
+            )
+        else:
+            object.__setattr__(
+                self, "block_chunks", tuple(tuple(p) for p in self.block_chunks)
+            )
+        for block, chunks in self.block_chunks:
+            if chunks <= 0:
+                raise ValueError(
+                    f"block_chunks[{block}] must be positive, got {chunks}"
+                )
+        if self.a2a_stagger not in ("off", "wave", "chain"):
+            raise ValueError(
+                "a2a_stagger must be 'off', 'wave' or 'chain'"
+            )
+
+    def chunks_for(self, block: int) -> int:
+        """Chunk count for one block: the per-block override when the
+        tuner (or a caller) set one, else the global fixed M."""
+        for index, chunks in self.block_chunks:
+            if index == block:
+                return chunks
+        return self.ec_pipeline_chunks
+
+    @property
+    def min_pipeline_chunks(self) -> int:
+        """Smallest chunk count any block may run with — the conservative
+        input to the memory model (fewer chunks = bigger transient
+        dispatch/combine buffers)."""
+        counts = [chunks for _, chunks in self.block_chunks]
+        counts.append(self.ec_pipeline_chunks)
+        return min(counts)
 
 
 class IterationContext:

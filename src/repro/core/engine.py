@@ -22,6 +22,7 @@ strategy mix's memory footprint exceeds GPU capacity (Fig. 16).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -37,7 +38,7 @@ from .context import IterationContext, JanusFeatures
 from .memory_model import check_fits, estimate_strategies
 from .paradigm import Paradigm
 from .strategies import get_strategy, resolve_strategy_name, strategy_names
-from .taskgraph import build_iteration_plan, run_lane
+from .taskgraph import TaskKind, build_iteration_plan, run_lane
 from .workload import IterationWorkload
 
 __all__ = ["IterationResult", "JanusEngine"]
@@ -189,6 +190,9 @@ class JanusEngine:
         # Control-plane replica map (block -> expert -> machines); empty
         # unless a controller placed replicas.
         self.replicas: Dict[int, Dict[int, tuple]] = {}
+        # Last chunk-tuning pass: block -> predicted per-chunk All-to-All
+        # seconds (empty until ``chunk_autotune`` runs a retune).
+        self.chunk_predictions: Dict[int, float] = {}
         if (
             self.controller is None
             and degradation is not None
@@ -381,6 +385,12 @@ class JanusEngine:
         """
         if self.controller is not None:
             self.controller.prepare(self)
+        if self.features.chunk_autotune:
+            # Routing is fixed per iteration and produced before any MoE
+            # communication, so the tuner sees this iteration's (already
+            # drifted) load — the controller re-tunes between iterations
+            # simply by this running again at the next iteration start.
+            self._retune_chunks()
         if self.check_memory:
             self._check_memory()
         self._jitter_rng = np.random.default_rng(self.jitter_seed)
@@ -467,6 +477,50 @@ class JanusEngine:
             self._apply_control(result)
         return results
 
+    def set_block_chunks(self, overrides, micro_batches=None) -> None:
+        """Re-point the chunked-EC chunk counts: per-block overrides (a
+        mapping or pair tuple) plus an optional new global micro-batch M.
+        The chunk tuner's actuation entry point; emits the
+        ``control.chunk_tuning.*`` switch metrics."""
+        previous = self.features
+        updates = {"block_chunks": overrides}
+        if micro_batches is not None:
+            updates["micro_batches"] = micro_batches
+        self.features = dataclasses.replace(previous, **updates)
+        if self.metrics is None:
+            return
+        for block, chunks in self.features.block_chunks:
+            self.metrics.set(
+                "control.chunk_tuning.chunks", chunks, block=block
+            )
+            if previous.chunks_for(block) != chunks:
+                self.metrics.inc("control.chunk_tuning.switches", block=block)
+        if micro_batches is not None:
+            self.metrics.set(
+                "control.chunk_tuning.micro_batches", micro_batches
+            )
+            if previous.micro_batches != micro_batches:
+                self.metrics.inc(
+                    "control.chunk_tuning.switches", block="micro"
+                )
+
+    def _retune_chunks(self) -> None:
+        """Re-pick per-block chunk counts (and the shared micro-batch M)
+        for the upcoming iteration from its routing, via the control
+        plane's measured-load cost model."""
+        from ..control import tune_engine_chunks
+
+        plan = tune_engine_chunks(self)
+        self.chunk_predictions = dict(plan.predicted_chunk_s)
+        self.set_block_chunks(plan.block_chunks, plan.micro_batches)
+        if self.metrics is not None:
+            self.metrics.inc("control.chunk_tuning.retunes")
+            for block, seconds in plan.predicted_chunk_s:
+                self.metrics.set(
+                    "control.chunk_tuning.predicted_chunk_s", seconds,
+                    block=block,
+                )
+
     def set_block_strategy(self, block: int, spec) -> str:
         """Re-point one MoE block at a (resolved) strategy; returns the
         canonical name.  The control plane's actuation entry point."""
@@ -513,11 +567,21 @@ class JanusEngine:
                                     forward_only)
         observer = self._task_observer(ctx)
         env = ctx.env
+        arbiters = None
+        if self.features.a2a_stagger != "off":
+            # Intra-A2A chunk scheduling: one slot models the striped NIC
+            # fabric (a hierarchical All-to-All already uses every NIC of
+            # a machine), so concurrent chunks serialize at line rate in
+            # claim-priority order instead of superposing.
+            from ..simkit import PriorityResource
+            from .taskgraph import NIC_FABRIC_RESOURCE
+
+            arbiters = {NIC_FABRIC_RESOURCE: PriorityResource(env)}
         worker_procs, collector_procs = [], []
         for kind, payload in plan.entries:
             if kind == "lane":
                 proc = env.process(
-                    run_lane(plan.graph, payload, observer),
+                    run_lane(plan.graph, payload, observer, arbiters),
                     name=payload.name, priority=payload.priority,
                 )
                 if payload.role == "worker":
@@ -538,12 +602,29 @@ class JanusEngine:
         metrics = self.metrics
         trace = ctx.trace
         trace_worker = self.trace_worker
+        # Per-block per-chunk A2A timing feeds the tuner's predicted-vs-
+        # measured report; only booked under tuning so default-features
+        # runs keep their exact golden metric key sets.
+        chunk_metrics = metrics is not None and self.features.chunk_autotune
 
         def observe(task, started: float, ended: float) -> None:
             kind = task.kind.value
             if metrics is not None:
                 metrics.inc("task.count", kind=kind)
                 metrics.inc("task.seconds", ended - started, kind=kind)
+                if (
+                    chunk_metrics
+                    and task.kind is TaskKind.A2A_CHUNK
+                    and task.block is not None
+                ):
+                    metrics.inc(
+                        "control.chunk_tuning.measured_chunks",
+                        block=task.block,
+                    )
+                    metrics.inc(
+                        "control.chunk_tuning.measured_chunk_s",
+                        ended - started, block=task.block,
+                    )
             if task.worker is None or task.worker == trace_worker:
                 trace.record(
                     f"task.{kind}", started, ended,
@@ -575,7 +656,9 @@ class JanusEngine:
             self.workload.world_size,
             counts,
             credit_size=self.features.credit_size,
-            pipeline_chunks=self.features.ec_pipeline_chunks,
+            # Conservative: the block running the fewest chunks holds the
+            # largest transient dispatch/combine buffers.
+            pipeline_chunks=self.features.min_pipeline_chunks,
         )
         check_fits(estimate, self.cluster.spec.gpu.memory_bytes)
 

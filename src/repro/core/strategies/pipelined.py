@@ -18,7 +18,9 @@ numerically the same iteration, just with hidden communication time.  The
 price is K× the kernel-launch overhead (every chunk re-launches each
 resident expert's batched GEMM), which is why very large K loses again.
 
-The chunk count is ``JanusFeatures.ec_pipeline_chunks``.
+The chunk count is per block: ``JanusFeatures.chunks_for(index)`` — the
+tuner's ``block_chunks`` override when one is set, else the global
+``ec_pipeline_chunks``.
 """
 
 from __future__ import annotations
@@ -46,9 +48,9 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
     def setup(self, ctx, forward_only: bool) -> None:
         self._sync = {}
         world = self.engine.workload.world_size
-        chunks = self.engine.features.ec_pipeline_chunks
         phases = ("fwd",) if forward_only else ("fwd", "bwd")
         for index in self.blocks:
+            chunks = self.engine.features.chunks_for(index)
             for phase in phases:
                 self._sync[(phase, index)] = SimpleNamespace(
                     arrive=[ctx.env.event() for _ in range(world)],
@@ -75,7 +77,7 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
         placement = ctx.placements[index]
         gpu_flops = engine._rank_flops(rank)
         mult = _BACKWARD if phase == "bwd" else 1.0
-        chunks = engine.features.ec_pipeline_chunks
+        chunks = engine.features.chunks_for(index)
 
         sync.arrive[rank].succeed()
         received = sum(
@@ -114,14 +116,14 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
         block = workload.blocks[index]
         placement = ctx.placements[index]
         dispatch = block.tokens_sent_matrix(placement, workload.token_bytes)
-        return dispatch / self.engine.features.ec_pipeline_chunks
+        return dispatch / self.engine.features.chunks_for(index)
 
     def _dispatcher(self, ctx, index: int, phase: str):
         engine = self.engine
         sync = self._sync[(phase, index)]
         chunk = self._chunk_matrix(ctx, index)
         yield AllOf(ctx.env, sync.arrive)
-        for i in range(engine.features.ec_pipeline_chunks):
+        for i in range(engine.features.chunks_for(index)):
             start = ctx.env.now
             yield all_to_all(
                 ctx.fabric, chunk,
@@ -137,7 +139,7 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
         engine = self.engine
         sync = self._sync[(phase, index)]
         chunk = self._chunk_matrix(ctx, index).T
-        for i in range(engine.features.ec_pipeline_chunks):
+        for i in range(engine.features.chunks_for(index)):
             yield AllOf(ctx.env, sync.chunk_computed[i])
             start = ctx.env.now
             yield all_to_all(
@@ -163,7 +165,7 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
             placement = ctx.placements[index]
             gpu_flops = engine._rank_flops(rank)
             mult = _BACKWARD if phase == "bwd" else 1.0
-            chunks = engine.features.ec_pipeline_chunks
+            chunks = engine.features.chunks_for(index)
             received = sum(
                 int(block.routing[:, expert].sum())
                 for expert in placement.experts_of(rank)
@@ -212,7 +214,7 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
 
     def worker_tasks(self, ctx, rank: int, index: int, phase: str):
         p = f"{self.name}.{phase}.b{index}"
-        chunks = self.engine.features.ec_pipeline_chunks
+        chunks = self.engine.features.chunks_for(index)
         tasks = [Task(
             f"{p}.w{rank}.arrive", TaskKind.GATE,
             signals=(f"{p}.arrive.{rank}",),
@@ -239,9 +241,9 @@ class PipelinedExpertCentricStrategy(BlockStrategy):
         lanes = []
         engine = self.engine
         world = engine.workload.world_size
-        chunks = engine.features.ec_pipeline_chunks
         phases = ("fwd",) if forward_only else ("fwd", "bwd")
         for index in self.blocks:
+            chunks = engine.features.chunks_for(index)
             for phase in phases:
                 p = f"{self.name}.{phase}.b{index}"
                 dispatcher = graph.lane(f"{p}.dispatcher", role="service")

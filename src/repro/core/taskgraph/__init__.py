@@ -11,6 +11,7 @@ express: pipeline-parallel micro-batching and backward all-reduce overlap.
 from .builders import SpawnPlan, build_iteration_plan, entry_label, gpu_claim
 from .executor import run_lane
 from .graph import GraphValidationError, Lane, TaskGraph
+from .stagger import NIC_FABRIC_RESOURCE, apply_a2a_stagger, chunk_round
 from .task import ResourceClaim, Task, TaskKind
 
 __all__ = [
@@ -25,4 +26,7 @@ __all__ = [
     "entry_label",
     "gpu_claim",
     "run_lane",
+    "NIC_FABRIC_RESOURCE",
+    "apply_a2a_stagger",
+    "chunk_round",
 ]

@@ -32,6 +32,7 @@ from typing import List, Tuple
 
 from ...netsim import all_reduce
 from .graph import Lane, TaskGraph
+from .stagger import apply_a2a_stagger
 from .task import ResourceClaim, Task, TaskKind
 
 __all__ = ["SpawnPlan", "build_iteration_plan"]
@@ -151,6 +152,14 @@ def build_iteration_plan(
                 ("lane", lane)
                 for lane in _build_allreduce_lanes(engine, ctx, graph, micro)
             )
+    if features.a2a_stagger != "off":
+        # Intra-A2A chunk scheduling (post-pass): model the shared NIC
+        # fabric as an arbitrated resource so concurrent chunk sends
+        # serialize at line rate — "wave" grants in raw arrival order,
+        # "chain" staggers grants by schedule position.  Off by default —
+        # the pass adds claims, so skipping it keeps graphs (and their
+        # exports) byte-identical.
+        apply_a2a_stagger(graph, features.a2a_stagger)
     return plan
 
 

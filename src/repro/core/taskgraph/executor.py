@@ -14,6 +14,13 @@ never create events or processes the legacy code would not have created:
 The optional ``observer`` is called after each traced body with the task
 and its start/end sim-times; it is pure bookkeeping (spans, counters) and
 must never touch the simulation clock.
+
+``arbiters`` (optional) maps resource names to simkit
+:class:`~repro.simkit.PriorityResource` instances.  A task carrying a
+*prioritized* scoped :class:`ResourceClaim` on an arbitrated resource
+holds one slot of it for the duration of its body — the intra-A2A chunk
+scheduler's NIC-fabric serialization.  Without arbiters (every default
+run) the execution path is exactly the legacy one.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from .graph import Lane, TaskGraph
 __all__ = ["run_lane"]
 
 
-def run_lane(graph: TaskGraph, lane: Lane, observer=None):
+def run_lane(graph: TaskGraph, lane: Lane, observer=None, arbiters=None):
     """Generator executing ``lane``'s tasks in order (one simkit process)."""
     env = graph.env
     event_of = graph.event
@@ -37,6 +44,17 @@ def run_lane(graph: TaskGraph, lane: Lane, observer=None):
                 yield event_of(waits[0])
             else:
                 yield AllOf(env, [event_of(label) for label in waits])
+        grants = []
+        if arbiters is not None:
+            for claim in task.claims:
+                if claim.priority is None or claim.mode != "scoped":
+                    continue
+                arbiter = arbiters.get(claim.resource)
+                if arbiter is None:
+                    continue
+                request = arbiter.request(priority=claim.priority)
+                yield request
+                grants.append((arbiter, request))
         if task.body is not None:
             started = env.now
             outcome = task.body()
@@ -44,5 +62,7 @@ def run_lane(graph: TaskGraph, lane: Lane, observer=None):
                 yield from outcome
             if observer is not None and task.traced:
                 observer(task, started, env.now)
+        for arbiter, request in grants:
+            arbiter.release(request)
         for label in task.signals:
             event_of(label).succeed()

@@ -46,10 +46,19 @@ class ResourceClaim:
     context-managed).  A claim split across tasks uses an ``"acquire"`` on
     one task and a matching ``"release"`` on a later task of the same lane;
     the validator checks every acquire is released.
+
+    Most claims are descriptive (the fabric arbitrates its own resources);
+    a claim with a non-``None`` ``priority`` is *enforced* when the
+    executor is handed an arbiter for its resource — the task then holds a
+    slot of that resource for the duration of its body, granted in
+    priority order (smaller first, FIFO within a priority).  The intra-A2A
+    chunk scheduler uses this to stagger chunk sends over a shared NIC
+    fabric.
     """
 
     resource: str
     mode: str = "scoped"
+    priority: Optional[float] = None
 
     def __post_init__(self):
         if self.mode not in ("scoped", "acquire", "release"):
@@ -98,6 +107,12 @@ class Task:
             "signals": list(self.signals),
             "claims": [
                 {"resource": claim.resource, "mode": claim.mode}
+                if claim.priority is None
+                else {
+                    "resource": claim.resource,
+                    "mode": claim.mode,
+                    "priority": claim.priority,
+                }
                 for claim in self.claims
             ],
             "priority": self.priority,

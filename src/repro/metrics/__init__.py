@@ -14,6 +14,7 @@
 
 from .chrome_trace import chrome_trace, write_chrome_trace
 from .collect import (
+    chunk_tuning_breakdown,
     collect_iteration_metrics,
     comm_busy_time,
     compute_busy_time,
@@ -36,6 +37,7 @@ __all__ = [
     "SCHEMA",
     "build_run_report",
     "chrome_trace",
+    "chunk_tuning_breakdown",
     "collect_iteration_metrics",
     "comm_busy_time",
     "compute_busy_time",

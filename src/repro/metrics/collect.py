@@ -26,6 +26,7 @@ __all__ = [
     "comm_busy_time",
     "compute_busy_time",
     "task_kind_breakdown",
+    "chunk_tuning_breakdown",
     "serving_breakdown",
     "collect_iteration_metrics",
 ]
@@ -80,6 +81,57 @@ def task_kind_breakdown(
             )
             entry[field] = value
     return dict(sorted(breakdown.items()))
+
+
+def chunk_tuning_breakdown(registry: MetricsRegistry) -> Dict:
+    """Fold the ``control.chunk_tuning.*`` metrics into one report section.
+
+    Per pipelined block: the tuner's chosen chunk count, its predicted
+    per-chunk All-to-All seconds, the mean *measured* per-chunk task time
+    (booked by the task observer), and how often the choice switched
+    between retunes.  Top level: total retunes and the tuned global
+    micro-batch count (with its own switch counter under the ``"micro"``
+    pseudo-block).  Empty when the run never tuned, so default reports
+    are unchanged.
+    """
+    blocks: Dict[str, Dict[str, float]] = {}
+
+    def entry(key) -> Dict[str, float]:
+        return blocks.setdefault(str(dict(key).get("block")), {})
+
+    for key, value in registry.gauge_series(
+        "control.chunk_tuning.chunks"
+    ).items():
+        entry(key)["chunks"] = int(value)
+    for key, value in registry.gauge_series(
+        "control.chunk_tuning.predicted_chunk_s"
+    ).items():
+        entry(key)["predicted_chunk_s"] = value
+    measured = registry.series("control.chunk_tuning.measured_chunk_s")
+    for key, count in registry.series(
+        "control.chunk_tuning.measured_chunks"
+    ).items():
+        if count > 0:
+            entry(key)["measured_chunk_s"] = measured.get(key, 0.0) / count
+    for key, value in registry.series(
+        "control.chunk_tuning.switches"
+    ).items():
+        entry(key)["switches"] = int(value)
+    breakdown: Dict = {}
+    retunes = registry.total("control.chunk_tuning.retunes")
+    if retunes:
+        breakdown["retunes"] = int(retunes)
+    micro = registry.gauge("control.chunk_tuning.micro_batches")
+    if micro is not None:
+        breakdown["micro_batches"] = int(micro)
+    if blocks:
+        def block_key(item):
+            name = item[0]
+            return (not name.isdigit(), int(name) if name.isdigit() else 0,
+                    name)
+
+        breakdown["blocks"] = dict(sorted(blocks.items(), key=block_key))
+    return breakdown
 
 
 def serving_breakdown(registry: MetricsRegistry) -> Dict[str, Dict]:

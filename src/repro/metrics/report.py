@@ -12,6 +12,7 @@ import json
 from typing import Dict, List, Optional
 
 from .collect import (
+    chunk_tuning_breakdown,
     comm_busy_time,
     compute_busy_time,
     overlap_efficiency,
@@ -76,6 +77,9 @@ def build_run_report(
         tasks = task_kind_breakdown(registry)
         if tasks:
             report["tasks"] = tasks
+        tuning = chunk_tuning_breakdown(registry)
+        if tuning:
+            report["chunk_tuning"] = tuning
         serving = serving_breakdown(registry)
         if serving:
             report["serving"] = serving

@@ -10,6 +10,7 @@ from repro.bench import (
     SCHEDULE_QUICK_CONFIGS,
     SCHEDULES_SCHEMA,
     ScheduleBenchConfig,
+    check_autotune_win,
     check_schedule_wins,
     check_schedules_snapshot,
     format_schedules_suite,
@@ -49,6 +50,20 @@ class TestKeys:
             "expert-centric", grad_allreduce="overlap"
         ).key == "expert-centric/ar-overlap"
 
+    def test_key_encodes_chunk_and_stagger_knobs(self):
+        assert ScheduleBenchConfig(
+            "pipelined-ec", chunks=4, gpu="tight"
+        ).key == "pipelined-ec/tight/c4"
+        assert ScheduleBenchConfig(
+            "pipelined-ec", chunks="auto", gpu="tight"
+        ).key == "pipelined-ec/tight/auto"
+        assert ScheduleBenchConfig(
+            "microbatch-ec", micro_batches=4, stagger="wave"
+        ).key == "microbatch-ec/mb4/wave"
+        assert ScheduleBenchConfig(
+            "microbatch-ec", micro_batches=4, stagger="chain"
+        ).key == "microbatch-ec/mb4/stagger"
+
     def test_quick_configs_are_a_subset_of_full(self):
         full = {spec.key for spec in SCHEDULE_FULL_CONFIGS}
         assert {spec.key for spec in SCHEDULE_QUICK_CONFIGS} <= full
@@ -67,6 +82,58 @@ class TestStructuralWins:
         capture = _capture()
         del capture["runs"]["microbatch-ec/mb4"]
         assert check_schedule_wins(capture) == []
+
+    def test_flagged_when_stagger_loses_to_wave(self):
+        capture = _capture()
+        capture["runs"]["microbatch-ec/mb4/wave"] = _entry(0.118)
+        capture["runs"]["microbatch-ec/mb4/stagger"] = _entry(0.121)
+        problems = check_schedule_wins(capture)
+        assert len(problems) == 1
+        assert "microbatch-ec/mb4/stagger" in problems[0]
+
+
+class TestAutotuneWin:
+    def _capture(self, auto, fixed):
+        return {
+            "runs": {
+                "pipelined-ec/tight/auto": _entry(auto),
+                **{
+                    f"pipelined-ec/tight/c{m}": _entry(sim)
+                    for m, sim in fixed.items()
+                },
+            }
+        }
+
+    def test_pass_when_auto_dominates(self):
+        capture = self._capture(0.39, {1: 0.44, 2: 0.41, 4: 0.41, 8: 0.45})
+        assert check_autotune_win(capture) == []
+
+    def test_flagged_per_fixed_count_auto_loses_to(self):
+        capture = self._capture(0.43, {1: 0.44, 2: 0.41, 4: 0.42})
+        problems = check_autotune_win(capture)
+        assert len(problems) == 2
+        assert "pipelined-ec/tight/c2" in problems[0]
+        assert "pipelined-ec/tight/c4" in problems[1]
+
+    def test_flagged_when_auto_beats_nothing(self):
+        capture = self._capture(0.41, {2: 0.41, 4: 0.41})
+        problems = check_autotune_win(capture)
+        assert len(problems) == 1
+        assert "dead weight" in problems[0]
+
+    def test_skipped_without_an_auto_or_fixed_run(self):
+        assert check_autotune_win(self._capture(0.5, {})) == []
+        capture = self._capture(0.5, {2: 0.4})
+        del capture["runs"]["pipelined-ec/tight/auto"]
+        assert check_autotune_win(capture) == []
+
+    def test_autotune_gate_folds_into_schedule_wins(self):
+        capture = _capture()
+        capture["runs"].update(
+            self._capture(0.43, {2: 0.41})["runs"]
+        )
+        problems = check_schedule_wins(capture)
+        assert any("pipelined-ec/tight/c2" in p for p in problems)
 
 
 class TestSnapshotGate:

@@ -45,6 +45,21 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["simulate", "--chunks", bad])
 
+    def test_simulate_chunks_auto(self):
+        args = build_parser().parse_args(["simulate", "--chunks", "auto"])
+        assert args.chunks == "auto"
+        args = build_parser().parse_args(["report", "--chunks", "auto"])
+        assert args.chunks == "auto"
+
+    def test_simulate_stagger_choices(self):
+        args = build_parser().parse_args(
+            ["simulate", "--stagger-a2a", "chain"]
+        )
+        assert args.stagger_a2a == "chain"
+        assert build_parser().parse_args(["simulate"]).stagger_a2a is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--stagger-a2a", "fifo"])
+
 
 class TestCommands:
     def test_plan_prints_r_and_memory(self, capsys):
@@ -107,6 +122,40 @@ class TestCommands:
         assert "pipelined-ec" in out
         assert "ms per training iteration" in out
 
+    def test_simulate_chunks_auto_tunes(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "pipelined-ec",
+            "--chunks", "auto",
+        ]) == 0
+        assert "ms per training iteration" in capsys.readouterr().out
+
+    def test_fixed_chunks_conflict_with_chunk_adaptive_control(self, capsys):
+        code = main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "pipelined-ec",
+            "--chunks", "4", "--control", "adaptive;chunks=on",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--chunks auto" in err and "chunk-adaptive" in err
+
+    def test_auto_chunks_compose_with_chunk_adaptive_control(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "pipelined-ec",
+            "--chunks", "auto", "--control", "adaptive;chunks=on",
+            "--iterations", "2",
+        ]) == 0
+
+    def test_simulate_stagger_a2a_runs(self, capsys):
+        assert main([
+            "simulate", "--model", "moe-gpt", "--machines", "2",
+            "--batch-size", "32", "--paradigm", "microbatch-ec",
+            "--stagger-a2a", "chain",
+        ]) == 0
+        assert "ms per training iteration" in capsys.readouterr().out
+
     def test_simulate_inference_flag(self, capsys):
         assert main([
             "simulate", "--model", "moe-gpt", "--machines", "2",
@@ -147,6 +196,31 @@ class TestObservabilityCommands:
         assert "metrics" in report
         trace = json.loads(trace_path.read_text())
         assert {"X", "M"} <= {e["ph"] for e in trace["traceEvents"]}
+
+    def test_report_chunks_auto_prints_the_tuning_table(self, tmp_path,
+                                                        capsys):
+        import json
+
+        out_path = tmp_path / "report.json"
+        assert main([
+            "report", *self.SMALL, "--paradigm", "pipelined-ec",
+            "--chunks", "auto", "--iterations", "2",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "chunk autotuner (2 retune(s)" in out
+        assert "Pred ms/chunk" in out
+        assert "Meas ms/chunk" in out
+        report = json.loads(out_path.read_text())
+        assert report["chunk_tuning"]["retunes"] == 2
+        assert report["chunk_tuning"]["blocks"]
+
+    def test_report_without_tuning_prints_no_table(self, capsys):
+        assert main([
+            "report", *self.SMALL, "--paradigm", "pipelined-ec",
+            "--iterations", "1",
+        ]) == 0
+        assert "chunk autotuner" not in capsys.readouterr().out
 
     def test_simulate_without_export_flags_writes_nothing(self, tmp_path,
                                                           capsys):
